@@ -1,0 +1,79 @@
+"""Extension: policy robustness under bursty (MMPP) arrivals.
+
+Section 5.2 explains dynaSprint's failure as missing "increased
+variability" — timeout settings calibrated under smooth low-rate
+traffic misbehave when arrivals burst.  This bench runs the same
+collocation under Poisson and MMPP arrivals at identical mean load and
+compares (1) the tail inflation bursts cause and (2) how much
+short-term allocation claws back in each regime.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_block
+from repro.analysis import format_table
+from repro.testbed import (
+    CollocatedService,
+    CollocationConfig,
+    CollocationRuntime,
+    default_machine,
+)
+from repro.workloads import get_workload
+
+PAIR = ("redis", "social")
+UTIL = 0.85
+
+
+def _p95(arrival_process, timeout, rng=5):
+    cfg = CollocationConfig(
+        machine=default_machine(),
+        services=[
+            CollocatedService(
+                get_workload(name),
+                timeout=timeout,
+                utilization=UTIL,
+                arrival_process=arrival_process,
+            )
+            for name in PAIR
+        ],
+    )
+    res = CollocationRuntime(cfg, rng=rng).run(n_queries=2500)
+    return np.array(
+        [np.percentile(s.response_times_norm, 95) for s in res.services]
+    )
+
+
+def _run():
+    out = {}
+    for proc in ("poisson", "mmpp"):
+        out[proc] = {
+            "no STA": _p95(proc, np.inf),
+            "STA t=0.5": _p95(proc, 0.5),
+        }
+    return out
+
+
+def test_bursty_arrivals(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    rows = []
+    for proc, by_policy in results.items():
+        for policy, p95 in by_policy.items():
+            rows.append([proc, policy, float(p95[0]), float(p95[1])])
+    print_block(
+        format_table(
+            ["arrivals", "policy", f"{PAIR[0]} p95", f"{PAIR[1]} p95"],
+            rows,
+            title="Extension: Poisson vs MMPP arrivals at equal mean load",
+        )
+    )
+
+    # Bursts inflate the no-STA tail at the same mean load.
+    assert np.all(results["mmpp"]["no STA"] > results["poisson"]["no STA"])
+    # STA still helps under bursts...
+    assert np.all(results["mmpp"]["STA t=0.5"] < results["mmpp"]["no STA"])
+    # ...and its *absolute* tail savings are larger there (the
+    # variability dynaSprint's smooth-traffic calibration never sees).
+    saved_poisson = results["poisson"]["no STA"] - results["poisson"]["STA t=0.5"]
+    saved_mmpp = results["mmpp"]["no STA"] - results["mmpp"]["STA t=0.5"]
+    assert saved_mmpp.sum() > saved_poisson.sum()

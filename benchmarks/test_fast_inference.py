@@ -1,0 +1,73 @@
+"""Extension: Bolt-style packed inference vs naive tree traversal.
+
+Reference [24] of the paper is the authors' fast random-forest
+inference engine ("Bolt", Middleware '22); inference latency matters
+here because online policy exploration queries the deep forest per
+candidate timeout vector with small batches.  The packed layout
+(contiguous node arrays, level-synchronous gathers, leaf self-loops)
+wins exactly where Bolt targets: small-batch, latency-sensitive
+inference.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import print_block
+from repro.analysis import format_table
+from repro.forest import PackedForest, RandomForestRegressor
+
+BATCHES = (8, 32, 128, 2000)
+
+
+def _setup():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(size=(600, 25))
+    y = np.sin(3 * X[:, 0]) + X[:, 1] * X[:, 2]
+    forest = RandomForestRegressor(n_estimators=100, max_depth=10, rng=0).fit(X, y)
+    return forest, PackedForest.from_forest(forest), rng
+
+
+def _naive_predict(forest, X):
+    """Per-tree traversal, bypassing the packed dispatch that
+    ``_BaseForest.predict`` now applies to small batches."""
+    out = np.zeros(X.shape[0])
+    for t in forest.trees_:
+        out += t.predict(X)
+    return out / len(forest.trees_)
+
+
+def _time(fn, repeats=10):
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        fn()
+    return (time.perf_counter() - t0) / repeats
+
+
+def _run():
+    forest, packed, rng = _setup()
+    rows = []
+    for batch in BATCHES:
+        Xt = rng.uniform(size=(batch, 25))
+        assert np.allclose(packed.predict(Xt), _naive_predict(forest, Xt))
+        naive = _time(lambda: _naive_predict(forest, Xt))
+        fast = _time(lambda: packed.predict(Xt))
+        rows.append([batch, naive * 1e3, fast * 1e3, naive / fast])
+    return rows
+
+
+def test_fast_inference(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_block(
+        format_table(
+            ["batch size", "naive (ms)", "packed (ms)", "speedup"],
+            rows,
+            title="Extension: Bolt-style packed forest inference (100 trees)",
+        )
+    )
+    by_batch = {r[0]: r[3] for r in rows}
+    # Small-batch latency is where packing pays off (Bolt's regime).
+    assert by_batch[8] > 5.0
+    assert by_batch[32] > 2.0
+    # It must never be a large regression at big batches.
+    assert by_batch[2000] > 0.7

@@ -1,0 +1,63 @@
+"""Figure 3: deep-learning concepts beat raw-feature grouping.
+
+Recreates the figure's setup: three input features (arrival rate,
+timeout, LLC misses) where anomalous effective allocation follows a
+hidden interaction no axis-aligned grouping captures.  A cascade level
+(concept learner) should generalize where a shallow tree over-fits.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_block
+from repro.analysis import format_table
+from repro.baselines import DecisionTreeBaseline
+from repro.forest import CascadeForest
+
+
+def _make_anomaly_data(n, rng):
+    """Anomalous EA when high arrival coincides with tight timeouts AND
+    elevated misses — a conjunction spread across the feature space."""
+    r = np.random.default_rng(rng)
+    X = np.column_stack(
+        [
+            r.uniform(0.25, 0.95, n),  # arrival rate
+            r.uniform(0.0, 6.0, n),  # timeout
+            r.uniform(0.0, 1.0, n),  # LLC misses
+        ]
+    )
+    anomalous = (X[:, 0] > 0.7) & (X[:, 1] < 2.0) & (X[:, 2] > 0.5)
+    y = np.where(anomalous, 0.4, 0.9) + r.normal(0, 0.03, n)
+    return X, y, anomalous
+
+
+def _run():
+    X, y, _ = _make_anomaly_data(400, rng=0)
+    Xt, yt, anom_t = _make_anomaly_data(300, rng=1)
+    shallow = DecisionTreeBaseline(max_depth=2, rng=0).fit(X, y)
+    cascade = CascadeForest(
+        n_levels=2, forests_per_level=2, n_estimators=20, rng=0
+    ).fit(X, y)
+
+    def anomaly_accuracy(pred):
+        flagged = pred < 0.65
+        return float((flagged == anom_t).mean())
+
+    return {
+        "shallow tree (depth 2)": anomaly_accuracy(shallow.predict(Xt)),
+        "cascade concepts": anomaly_accuracy(cascade.predict(Xt)),
+    }
+
+
+def test_fig3_concepts(benchmark):
+    acc = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_block(
+        format_table(
+            ["model", "anomalous-EA detection accuracy"],
+            [[k, v] for k, v in acc.items()],
+            title="Figure 3: concepts uncover hidden EA anomalies (reproduced)",
+        )
+    )
+    # The paper's point: bounded-feature grouping cannot reach high
+    # accuracy; concept learning can.
+    assert acc["cascade concepts"] > 0.9
+    assert acc["cascade concepts"] > acc["shallow tree (depth 2)"]

@@ -1,0 +1,55 @@
+"""Figure 4: multi-grained scanning and cascade feature bookkeeping.
+
+Verifies the worked example in the text: a 29x20 profile scanned by a
+5x5 window yields 400 transformed features; cascade levels append 4
+concepts per layer on top of the 580 raw + 400 transformed features.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_block
+from repro.analysis import format_table
+from repro.forest import CascadeForest, MultiGrainScanner, sliding_windows
+
+
+def _feature_accounting():
+    rng = np.random.default_rng(0)
+    traces = rng.normal(size=(40, 29, 20))
+    y = traces[:, 10:15, 5:10].mean(axis=(1, 2))
+
+    win = sliding_windows(traces, (5, 5))
+    scanner = MultiGrainScanner(
+        windows=[(5, 5)], n_estimators=5, max_instances=3000, rng=0
+    ).fit(traces, y)
+    mgs_features = scanner.transform(traces)
+
+    raw = traces.reshape(40, -1)  # 580 raw features
+    cascade_input = np.concatenate([raw, mgs_features], axis=1)
+    cascade = CascadeForest(
+        n_levels=2, forests_per_level=4, n_estimators=5, rng=0
+    ).fit(cascade_input, y)
+    concepts = cascade.concept_features(cascade_input)
+    return {
+        "window positions (5x5 on 29x20)": win.shape[1],
+        "raw features": raw.shape[1],
+        "MGS features": mgs_features.shape[1],
+        "cascade input features": cascade_input.shape[1],
+        "concepts appended (2 levels x 4 forests)": concepts.shape[1],
+    }
+
+
+def test_fig4_mgs_accounting(benchmark):
+    counts = benchmark.pedantic(_feature_accounting, rounds=1, iterations=1)
+    print_block(
+        format_table(
+            ["quantity", "count"],
+            [[k, v] for k, v in counts.items()],
+            title="Figure 4: MGS + cascade feature accounting (reproduced)",
+        )
+    )
+    # The text's arithmetic: 25x16 = 400 windows; 580 raw; 580+400 input.
+    assert counts["window positions (5x5 on 29x20)"] == 400
+    assert counts["raw features"] == 580
+    assert counts["MGS features"] == 400
+    assert counts["cascade input features"] == 980
+    assert counts["concepts appended (2 levels x 4 forests)"] == 8

@@ -1,0 +1,154 @@
+"""Figure 5: random variation in deep forests vs CNNs.
+
+Trains both model families repeatedly with different seeds on the same
+profile-like data and reports min/max/std of validation accuracy and
+training time.  The paper's finding: the best CNN can beat the deep
+forest, but deep forests are far more stable run to run.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import print_block
+from repro.analysis import format_table
+from repro.baselines.cnn import CNNHyperParams, CNNRegressor
+from repro.forest import DeepForestRegressor
+
+N_REPEATS = 8  # paper: 100; scaled for harness runtime
+
+
+def _make_data(rng=0):
+    r = np.random.default_rng(rng)
+    n = 160
+    traces = r.normal(0, 0.2, size=(n, 16, 12))
+    y = r.uniform(0.3, 1.0, size=n)
+    for i in range(n):
+        traces[i, 4:8, 3:7] += y[i]  # localized EA signal
+    flat = r.uniform(size=(n, 6))
+    y = y + 0.2 * flat[:, 0]
+    return flat, traces, y
+
+
+def _run_repeats():
+    flat, traces, y = _make_data()
+    n_train = 110
+    out = {"deep forest": [], "cnn": []}
+    times = {"deep forest": [], "cnn": []}
+    # One fixed split: run-to-run variation comes from model-internal
+    # randomness only (initialization, bootstrap, shuffling), as in the
+    # paper's repeated-training experiment.
+    perm = np.random.default_rng(100).permutation(len(y))
+    tr, te = perm[:n_train], perm[n_train:]
+    for seed in range(N_REPEATS):
+
+        t0 = time.perf_counter()
+        df = DeepForestRegressor(
+            windows=[(4, 4)],
+            mgs_estimators=8,
+            n_levels=1,
+            forests_per_level=2,
+            n_estimators=15,
+            rng=seed,
+        )
+        df.fit(flat[tr], traces[tr], y[tr])
+        times["deep forest"].append(time.perf_counter() - t0)
+        err = np.median(
+            np.abs(df.predict(flat[te], traces[te]) - y[te]) / y[te]
+        )
+        out["deep forest"].append(float(err))
+
+        t0 = time.perf_counter()
+        cnn = CNNRegressor(
+            CNNHyperParams(n_filters=8, kernel=(3, 3), hidden=32, epochs=25),
+            rng=seed,
+        )
+        cnn.fit(flat[tr], traces[tr], y[tr])
+        times["cnn"].append(time.perf_counter() - t0)
+        err = np.median(
+            np.abs(cnn.predict(flat[te], traces[te]) - y[te]) / y[te]
+        )
+        out["cnn"].append(float(err))
+    return out, times
+
+
+def test_fig5_stability(benchmark):
+    errors, times = benchmark.pedantic(_run_repeats, rounds=1, iterations=1)
+
+    rows = []
+    for name in ("deep forest", "cnn"):
+        e = np.array(errors[name])
+        t = np.array(times[name])
+        rows.append(
+            [name, e.min(), e.max(), e.std(), e.mean(), t.mean(), t.std()]
+        )
+    print_block(
+        format_table(
+            ["model", "err min", "err max", "err std", "err mean",
+             "train s mean", "train s std"],
+            rows,
+            title=f"Figure 5: stability over {N_REPEATS} trainings (reproduced)",
+            precision=4,
+        )
+    )
+
+    df_err = np.array(errors["deep forest"])
+    cnn_err = np.array(errors["cnn"])
+    # Deep forests reliably provide low error: lower spread...
+    assert df_err.std() < cnn_err.std()
+    # ...and a better worst case (the paper: CNN worst ~2x DF).
+    assert df_err.max() < cnn_err.max()
+
+
+def _run_future_work():
+    """Section 4.1's future work: residual and LSTM networks on the same
+    repeated-training protocol."""
+    from repro.baselines import LSTMRegressor, ResidualMLPRegressor
+
+    flat, traces, y = _make_data()
+    n_train = 110
+    perm = np.random.default_rng(100).permutation(len(y))
+    tr, te = perm[:n_train], perm[n_train:]
+    flat_full = np.concatenate(
+        [flat, traces.reshape(len(y), -1)], axis=1
+    )
+    out = {"lstm": [], "residual mlp": []}
+    for seed in range(max(3, N_REPEATS // 2)):
+        lstm = LSTMRegressor(n_hidden=16, epochs=30, lr=5e-3, rng=seed)
+        lstm.fit(flat[tr], traces[tr], y[tr])
+        err = np.median(
+            np.abs(lstm.predict(flat[te], traces[te]) - y[te]) / y[te]
+        )
+        out["lstm"].append(float(err))
+
+        res = ResidualMLPRegressor(
+            width=32, n_blocks=3, epochs=40, lr=3e-3, rng=seed
+        )
+        res.fit(flat_full[tr], y[tr])
+        err = np.median(
+            np.abs(res.predict(flat_full[te]) - y[te]) / y[te]
+        )
+        out["residual mlp"].append(float(err))
+    return out
+
+
+def test_fig5_future_work_architectures(benchmark):
+    """Extension: the reliability/accuracy trade-off the paper defers to
+    future work, measured with the same protocol as Figure 5."""
+    errors = benchmark.pedantic(_run_future_work, rounds=1, iterations=1)
+    rows = []
+    for name, errs in errors.items():
+        e = np.array(errs)
+        rows.append([name, e.min(), e.max(), e.std(), e.mean()])
+    print_block(
+        format_table(
+            ["model", "err min", "err max", "err std", "err mean"],
+            rows,
+            title="Figure 5 extension: future-work architectures (LSTM, residual)",
+            precision=4,
+        )
+    )
+    # Back-prop models remain seed-sensitive; both must at least train.
+    for name, errs in errors.items():
+        assert max(errs) < 1.0, f"{name} failed to train"
+        assert np.std(errs) > 0.0  # run-to-run variation exists

@@ -1,0 +1,70 @@
+"""Figure 7a: generalization to unseen collocations.
+
+For each target pair, the model is trained only on the *other*
+collocations' profiles and must predict response times for the held-out
+pair — the jac(bfs) / bfs(jac) breakdown of the paper.  The paper's
+bar: median error below 15% for every collocation.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import ACCURACY_PAIRS, print_block
+from repro.analysis import format_table, median_ape
+from repro.core import StacModel
+
+DF_CONFIG = dict(
+    windows=[(5, 5), (10, 10)],
+    mgs_estimators=12,
+    mgs_max_instances=6000,
+    n_levels=2,
+    forests_per_level=4,
+    n_estimators=25,
+)
+
+
+def _aggregate(ds, row_preds):
+    groups = ds.condition_groups()
+    y = ds.y_rt_mean
+    names, pred, act = [], [], []
+    for (cid, sidx), idxs in groups.items():
+        row = ds.rows[idxs[0]]
+        partner = [w for w in row.condition.workloads if w != row.service_name]
+        names.append(f"{row.service_name}({partner[0] if partner else '-'})")
+        pred.append(float(np.mean(row_preds[idxs])))
+        act.append(float(np.mean(y[idxs])))
+    return names, np.maximum(np.asarray(pred), 1e-3), np.asarray(act)
+
+
+def _run(dataset):
+    per_label = {}
+    for pair in ACCURACY_PAIRS:
+        test, train = dataset.split_by_condition(
+            lambda c, pair=pair: set(c.workloads) == set(pair)
+        )
+        model = StacModel(rng=0, **DF_CONFIG).fit(train)
+        pred = model.predict_rows(test)
+        names, p, a = _aggregate(test, pred["rt_mean"])
+        for label in set(names):
+            idx = [i for i, n in enumerate(names) if n == label]
+            per_label[label] = median_ape(p[idx], a[idx])
+    return per_label
+
+
+def test_fig7a_generalization(benchmark, fig6_dataset):
+    errors = benchmark.pedantic(
+        _run, args=(fig6_dataset,), rounds=1, iterations=1
+    )
+    rows = sorted(errors.items())
+    print_block(
+        format_table(
+            ["collocation", "median APE"],
+            rows,
+            title="Figure 7a: per-collocation generalization error (reproduced)",
+        )
+    )
+    assert len(errors) == 6  # both directions of all 3 pairs
+    # The paper keeps every collocation under 15%; we hold a 30% band
+    # (held-out-pair training data is much smaller here).
+    for label, err in errors.items():
+        assert err < 0.30, f"{label}: {err:.3f}"
+    assert float(np.median(list(errors.values()))) < 0.20

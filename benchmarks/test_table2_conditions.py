@@ -1,0 +1,47 @@
+"""Table 2: the runtime-condition space and its sampling coverage."""
+
+import numpy as np
+
+from benchmarks.conftest import print_block
+from repro.analysis import format_table
+from repro.core.sampling import TIMEOUT_RANGE, UTIL_RANGE, uniform_conditions
+
+
+def _sample_space():
+    conds = uniform_conditions(("jacobi", "bfs"), n=400, rng=0)
+    utils = np.array([u for c in conds for u in c.utilizations])
+    touts = np.array([t for c in conds for t in c.timeouts])
+    return utils, touts
+
+
+def test_table2(benchmark):
+    utils, touts = benchmark.pedantic(_sample_space, rounds=1, iterations=1)
+
+    rows = [
+        ["Collocated services sharing cache lines",
+         "Jacobi, KNN, Kmeans, Spkmeans, Spstream, BFS, Social or Redis"],
+        ["Query inter-arrival rate (rel. to service time)",
+         f"{UTIL_RANGE[0]:.0%} - {UTIL_RANGE[1]:.0%}"],
+        ["Timeout policy (rel. to service time)",
+         f"{TIMEOUT_RANGE[0]:.0%} (always shared) - {TIMEOUT_RANGE[1]:.0%} (never)"],
+        ["Cache usage sampling", "1 Hz - every 5 seconds"],
+    ]
+    print_block(
+        format_table(
+            ["description", "supported settings"],
+            rows,
+            title="Table 2: runtime conditions studied (reproduced)",
+        )
+    )
+
+    # Sampling must cover the advertised ranges nearly edge to edge.
+    assert utils.min() < UTIL_RANGE[0] + 0.02
+    assert utils.max() > UTIL_RANGE[1] - 0.02
+    assert touts.min() < TIMEOUT_RANGE[0] + 0.1
+    assert touts.max() > TIMEOUT_RANGE[1] - 0.1
+    # Utilization is uniform; timeouts are skewed toward the active
+    # region (75% below 200% of service time) with tail coverage to 600%.
+    assert abs(np.median(utils) - np.mean(UTIL_RANGE)) < 0.05
+    active_fraction = np.mean(touts < 2.0)
+    assert 0.65 < active_fraction < 0.85
+    assert np.mean(touts >= 2.0) > 0.1  # tail still sampled

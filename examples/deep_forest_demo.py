@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Deep forest vs CNN on trace-like data (the Figure 4/5 machinery).
+
+A standalone machine-learning demo of the from-scratch deep forest:
+multi-grained scanning extracts spatial features, cascade levels add
+concepts, and the result is compared to the NumPy CNN baseline on the
+same spatially-localized regression task — including run-to-run
+stability, the paper's reason for choosing deep forests.
+
+Run:  python examples/deep_forest_demo.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.baselines.cnn import CNNHyperParams, CNNRegressor
+from repro.forest import DeepForestRegressor
+
+
+def make_data(n, rng):
+    """Targets depend on a localized patch plus a flat feature."""
+    r = np.random.default_rng(rng)
+    traces = r.normal(0, 0.25, size=(n, 16, 12))
+    y = r.uniform(0.3, 1.0, size=n)
+    for i in range(n):
+        traces[i, 5:9, 4:8] += y[i]
+    flat = r.uniform(size=(n, 4))
+    return flat, traces, y + 0.3 * flat[:, 0]
+
+
+def median_ape(pred, actual):
+    return float(np.median(np.abs(pred - actual) / actual))
+
+
+def main() -> None:
+    flat_tr, traces_tr, y_tr = make_data(150, rng=0)
+    flat_te, traces_te, y_te = make_data(80, rng=1)
+
+    rows = []
+    for seed in range(3):
+        t0 = time.perf_counter()
+        df = DeepForestRegressor(
+            windows=[(4, 4), (8, 8)],
+            mgs_estimators=10,
+            n_levels=2,
+            forests_per_level=4,
+            n_estimators=20,
+            rng=seed,
+        )
+        df.fit(flat_tr, traces_tr, y_tr)
+        df_time = time.perf_counter() - t0
+        df_err = median_ape(df.predict(flat_te, traces_te), y_te)
+
+        t0 = time.perf_counter()
+        cnn = CNNRegressor(
+            CNNHyperParams(n_filters=8, kernel=(3, 3), hidden=32, epochs=30),
+            rng=seed,
+        )
+        cnn.fit(flat_tr, traces_tr, y_tr)
+        cnn_time = time.perf_counter() - t0
+        cnn_err = median_ape(cnn.predict(flat_te, traces_te), y_te)
+        rows.append([seed, df_err, df_time, cnn_err, cnn_time])
+
+    print(
+        format_table(
+            ["seed", "DF median APE", "DF train s", "CNN median APE", "CNN train s"],
+            rows,
+            title="Deep forest vs CNN across seeds (Figure 5's phenomenon)",
+            precision=4,
+        )
+    )
+
+    df_errs = np.array([r[1] for r in rows])
+    cnn_errs = np.array([r[3] for r in rows])
+    print(
+        f"\nspread across seeds: DF {df_errs.max() - df_errs.min():.4f}, "
+        f"CNN {cnn_errs.max() - cnn_errs.min():.4f}"
+    )
+    print("Deep forests train layer-by-layer, so repeated trainings agree;")
+    print("back-prop CNNs drift with initialization — the paper's Figure 5.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""repro — reproduction of "Performance Modeling for Short-Term Cache
+Allocation" (Morris, Stewart, Chen, Birke; ICPP 2022).
+
+Public API tour
+---------------
+- :mod:`repro.cache` — Intel-CAT-style way allocation and cache simulation.
+- :mod:`repro.workloads` — the Table 1 benchmark suite as workload models.
+- :mod:`repro.queueing` — discrete-event G/G/k with short-term allocation.
+- :mod:`repro.testbed` — the simulated Xeon collocation testbed.
+- :mod:`repro.counters` — synthetic architectural counter profiling.
+- :mod:`repro.forest` — deep forest (MGS + cascades) from scratch.
+- :mod:`repro.baselines` — competing models and allocation policies.
+- :mod:`repro.core` — the three-stage modeling pipeline and policy search.
+- :mod:`repro.analysis` — clustering, error metrics, report formatting.
+
+Quick start::
+
+    from repro import (
+        Profiler, StacModel, uniform_conditions, model_driven_policy,
+    )
+    conditions = uniform_conditions(("redis", "social"), n=12, rng=0)
+    dataset = Profiler(rng=0).profile(conditions)
+    model = StacModel(rng=0).fit(dataset)
+    policy = model_driven_policy(model, ("redis", "social"), (0.9, 0.9))
+"""
+
+from repro.core import (
+    EAModel,
+    Profiler,
+    ProfileDataset,
+    ResponseTimeModel,
+    RuntimeCondition,
+    StacModel,
+    model_driven_policy,
+    slo_matching,
+    stratified_conditions,
+    uniform_conditions,
+)
+from repro.testbed import (
+    CollocatedService,
+    CollocationConfig,
+    CollocationRuntime,
+    default_machine,
+    get_machine,
+)
+from repro.workloads import WORKLOADS, all_workloads, get_workload
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "EAModel",
+    "Profiler",
+    "ProfileDataset",
+    "ResponseTimeModel",
+    "RuntimeCondition",
+    "StacModel",
+    "model_driven_policy",
+    "slo_matching",
+    "stratified_conditions",
+    "uniform_conditions",
+    "CollocatedService",
+    "CollocationConfig",
+    "CollocationRuntime",
+    "default_machine",
+    "get_machine",
+    "WORKLOADS",
+    "all_workloads",
+    "get_workload",
+    "__version__",
+]

@@ -1,0 +1,42 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in :mod:`repro` accepts ``rng`` as either an
+integer seed, an existing :class:`numpy.random.Generator`, or ``None``.
+This module centralizes the conversion so that simulations are exactly
+reproducible when seeded and independent when spawned.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | np.random.SeedSequence | None"
+
+
+def as_rng(rng: "RngLike" = None) -> np.random.Generator:
+    """Coerce ``rng`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` (fresh OS entropy), an integer seed, a
+        :class:`~numpy.random.SeedSequence`, or an existing generator
+        (returned unchanged).
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def spawn_rngs(rng: "RngLike", n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators.
+
+    Children are derived through :class:`~numpy.random.SeedSequence`
+    spawning, so parallel workers (e.g. forest trees trained across a
+    process pool) never share streams.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    parent = as_rng(rng)
+    seeds = parent.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,20 @@
+"""Analysis utilities: clustering, error statistics, concept insight and
+report formatting for the benchmark harness."""
+
+from repro.analysis.clustering import KMeans
+from repro.analysis.errors import ape_summary, median_ape, percentile_ape
+from repro.analysis.concepts import cluster_workloads_by_concepts
+from repro.analysis.importance import ea_feature_importances, top_features
+from repro.analysis.reporting import format_table, format_series
+
+__all__ = [
+    "KMeans",
+    "ape_summary",
+    "median_ape",
+    "percentile_ape",
+    "cluster_workloads_by_concepts",
+    "ea_feature_importances",
+    "top_features",
+    "format_table",
+    "format_series",
+]

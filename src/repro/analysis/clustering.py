@@ -1,0 +1,93 @@
+"""Seeded k-means with k-means++ initialization.
+
+Used twice in the paper: stratified sampling clusters seed experiments
+by effective cache allocation (Section 4), and Section 5 clusters
+workloads by learned concepts for system insight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_rng
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ seeding.
+
+    Parameters
+    ----------
+    k:
+        Number of clusters.
+    max_iter:
+        Iteration cap.
+    tol:
+        Convergence threshold on centroid movement.
+    """
+
+    def __init__(self, k: int, max_iter: int = 100, tol: float = 1e-8, rng=None):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if max_iter < 1:
+            raise ValueError("max_iter must be >= 1")
+        self.k = k
+        self.max_iter = max_iter
+        self.tol = tol
+        self._rng = as_rng(rng)
+        self.centroids_: np.ndarray | None = None
+
+    def _init_centroids(self, X: np.ndarray) -> np.ndarray:
+        """k-means++: spread initial centroids by squared-distance weight."""
+        n = X.shape[0]
+        first = int(self._rng.integers(0, n))
+        centroids = [X[first]]
+        for _ in range(1, self.k):
+            d2 = np.min(
+                ((X[:, None, :] - np.asarray(centroids)[None]) ** 2).sum(-1), axis=1
+            )
+            total = d2.sum()
+            if total == 0:
+                centroids.append(X[int(self._rng.integers(0, n))])
+                continue
+            probs = d2 / total
+            idx = int(self._rng.choice(n, p=probs))
+            centroids.append(X[idx])
+        return np.asarray(centroids)
+
+    def fit(self, X) -> "KMeans":
+        X = np.ascontiguousarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X[:, None]
+        if X.shape[0] < self.k:
+            raise ValueError(f"need at least k={self.k} samples, got {X.shape[0]}")
+        centroids = self._init_centroids(X)
+        for _ in range(self.max_iter):
+            labels = self._assign(X, centroids)
+            new = centroids.copy()
+            for j in range(self.k):
+                members = X[labels == j]
+                if members.shape[0]:
+                    new[j] = members.mean(axis=0)
+            shift = float(np.abs(new - centroids).max())
+            centroids = new
+            if shift < self.tol:
+                break
+        self.centroids_ = centroids
+        self.labels_ = self._assign(X, centroids)
+        self.inertia_ = float(
+            ((X - centroids[self.labels_]) ** 2).sum()
+        )
+        return self
+
+    @staticmethod
+    def _assign(X: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+        d2 = ((X[:, None, :] - centroids[None]) ** 2).sum(-1)
+        return np.argmin(d2, axis=1)
+
+    def predict(self, X) -> np.ndarray:
+        if self.centroids_ is None:
+            raise RuntimeError("KMeans is not fitted")
+        X = np.ascontiguousarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X[:, None]
+        return self._assign(X, self.centroids_)

@@ -1,0 +1,53 @@
+"""Which runtime conditions drive effective cache allocation?
+
+Trains a random forest on profile rows and aggregates impurity-based
+importances back onto the named static/dynamic features (plus the trace
+block as a whole) — a quick diagnostic for what the deep model has
+available to learn from, and a sanity check that the contention signals
+(partner timeout, concurrent boosting) actually carry weight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.profile_vec import (
+    DYNAMIC_FEATURE_NAMES,
+    ProfileDataset,
+    STATIC_FEATURE_NAMES,
+)
+from repro.forest.ensemble import RandomForestRegressor
+
+
+def ea_feature_importances(
+    dataset: ProfileDataset,
+    n_estimators: int = 40,
+    rng=None,
+) -> dict[str, float]:
+    """Named importance of every condition feature for predicting EA.
+
+    Returns ``{feature_name: importance}`` over the static and dynamic
+    features plus a single ``counter_trace`` entry aggregating all trace
+    columns; values sum to ~1.
+    """
+    if len(dataset) == 0:
+        raise ValueError("dataset is empty")
+    X_flat = dataset.X_flat
+    traces = dataset.traces.reshape(len(dataset), -1)
+    X = np.concatenate([X_flat, traces], axis=1)
+    forest = RandomForestRegressor(
+        n_estimators=n_estimators, min_samples_leaf=2, rng=rng
+    )
+    forest.fit(X, dataset.y_ea)
+    imp = forest.feature_importances_
+    names = list(STATIC_FEATURE_NAMES) + list(DYNAMIC_FEATURE_NAMES)
+    out = {name: float(imp[i]) for i, name in enumerate(names)}
+    out["counter_trace"] = float(imp[len(names):].sum())
+    return out
+
+
+def top_features(importances: dict[str, float], k: int = 5) -> list[tuple[str, float]]:
+    """The ``k`` highest-importance entries, sorted descending."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    return sorted(importances.items(), key=lambda kv: -kv[1])[:k]

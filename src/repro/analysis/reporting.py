@@ -1,0 +1,47 @@
+"""ASCII table/series formatting for the benchmark harness output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _fmt(v, precision: int) -> str:
+    if isinstance(v, float):
+        return f"{v:.{precision}f}"
+    return str(v)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    if any(len(r) != len(headers) for r in rows):
+        raise ValueError("every row must match the header width")
+    cells = [[_fmt(v, precision) for v in r] for r in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for r in cells:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(out)
+
+
+def format_series(
+    name: str, xs: Sequence, ys: Sequence, x_label: str = "x", y_label: str = "y",
+    precision: int = 3,
+) -> str:
+    """Render an (x, y) series the way the paper's figures plot them."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    rows = [(x, y) for x, y in zip(xs, ys)]
+    return format_table([x_label, y_label], rows, title=name, precision=precision)

@@ -1,0 +1,223 @@
+"""NumPy CNN regressor over counter traces, plus a random-search tuner.
+
+Substitutes for the paper's PyTorch CNN (trained with TUNE/PipeTune):
+an im2col 2-D convolution, ReLU, global pooling-free flatten and dense
+head, trained with Adam on MSE.  Exhibits the back-prop run-to-run
+variance Figure 5 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro._util import as_rng, spawn_rngs
+from repro.baselines.mlp import Adam, _Dense, _ReLU
+
+
+class _Conv2D:
+    """Valid-padding 2-D convolution via im2col (vectorized matmul)."""
+
+    def __init__(self, n_filters: int, kernel: tuple[int, int], rng):
+        self.kh, self.kw = kernel
+        fan_in = self.kh * self.kw
+        self.W = rng.normal(0.0, np.sqrt(2.0 / fan_in), size=(fan_in, n_filters))
+        self.b = np.zeros(n_filters)
+        self._cols = None
+        self._in_shape = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """(n, H, W) -> (n, H-kh+1, W-kw+1, F)."""
+        self._in_shape = x.shape
+        views = sliding_window_view(x, (self.kh, self.kw), axis=(1, 2))
+        n, oh, ow = views.shape[:3]
+        cols = views.reshape(n * oh * ow, self.kh * self.kw)
+        self._cols = cols
+        out = cols @ self.W + self.b
+        return out.reshape(n, oh, ow, -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        n, oh, ow, f = grad.shape
+        g = grad.reshape(n * oh * ow, f)
+        self.dW = self._cols.T @ g
+        self.db = g.sum(axis=0)
+        dcols = (g @ self.W.T).reshape(n, oh, ow, self.kh, self.kw)
+        dx = np.zeros(self._in_shape)
+        for i in range(self.kh):
+            for j in range(self.kw):
+                dx[:, i : i + oh, j : j + ow] += dcols[:, :, :, i, j]
+        return dx
+
+    def params_and_grads(self):
+        yield self.W, self.dW
+        yield self.b, self.db
+
+
+@dataclass
+class CNNHyperParams:
+    """The hyper parameters the paper tunes: epochs, batch size, learning
+    rate, neurons, drop rate (Section 5.1)."""
+
+    n_filters: int = 8
+    kernel: tuple[int, int] = (3, 3)
+    hidden: int = 32
+    epochs: int = 60
+    batch_size: int = 32
+    lr: float = 1e-3
+    dropout: float = 0.0
+
+
+class CNNRegressor:
+    """Conv -> ReLU -> flatten -> dense -> ReLU -> dense, Adam on MSE."""
+
+    def __init__(self, params: CNNHyperParams | None = None, rng=None):
+        self.params = params or CNNHyperParams()
+        self._rng = as_rng(rng)
+        self._conv = None
+        self.loss_history_: list[float] = []
+
+    def _build(self, H: int, W: int, extra: int) -> None:
+        p = self.params
+        self._conv = _Conv2D(p.n_filters, p.kernel, self._rng)
+        oh, ow = H - p.kernel[0] + 1, W - p.kernel[1] + 1
+        if oh < 1 or ow < 1:
+            raise ValueError(f"kernel {p.kernel} too large for trace {(H, W)}")
+        flat = oh * ow * p.n_filters + extra
+        self._relu1 = _ReLU()
+        self._fc1 = _Dense(flat, p.hidden, self._rng)
+        self._relu2 = _ReLU()
+        self._fc2 = _Dense(p.hidden, 1, self._rng)
+
+    def _forward(self, traces, flat_extra):
+        c = self._relu1.forward(self._conv.forward(traces))
+        n = c.shape[0]
+        self._conv_out_shape = c.shape
+        flat = c.reshape(n, -1)
+        if flat_extra is not None:
+            self._extra_width = flat_extra.shape[1]
+            flat = np.concatenate([flat, flat_extra], axis=1)
+        else:
+            self._extra_width = 0
+        h = self._relu2.forward(self._fc1.forward(flat))
+        return self._fc2.forward(h)
+
+    def _backward(self, grad):
+        g = self._fc2.backward(grad)
+        g = self._relu2.backward(g)
+        g = self._fc1.backward(g)
+        if self._extra_width:
+            g = g[:, : -self._extra_width]
+        g = g.reshape(self._conv_out_shape)
+        g = self._relu1.backward(g)
+        self._conv.backward(g)
+
+    def _layers(self):
+        return (self._conv, self._fc1, self._fc2)
+
+    def _normalize(self, traces, X_flat, fit=False):
+        t = np.ascontiguousarray(traces, dtype=float)
+        if fit:
+            self._t_mean = t.mean(axis=0, keepdims=True)
+            self._t_std = t.std(axis=0, keepdims=True)
+            self._t_std[self._t_std == 0] = 1.0
+        t = (t - self._t_mean) / self._t_std
+        xf = None
+        if X_flat is not None:
+            xf = np.ascontiguousarray(X_flat, dtype=float)
+            if fit:
+                self._f_mean = xf.mean(axis=0)
+                self._f_std = xf.std(axis=0)
+                self._f_std[self._f_std == 0] = 1.0
+            xf = (xf - self._f_mean) / self._f_std
+        return t, xf
+
+    def fit(self, X_flat, traces, y) -> "CNNRegressor":
+        """Train on (flat features, traces, targets); traces required."""
+        if traces is None:
+            raise ValueError("CNNRegressor requires traces")
+        y = np.ascontiguousarray(y, dtype=float).reshape(-1, 1)
+        t, xf = self._normalize(traces, X_flat, fit=True)
+        if t.shape[0] != y.shape[0]:
+            raise ValueError("traces and y must have matching first dims")
+        self._y_mean, self._y_std = float(y.mean()), float(y.std()) or 1.0
+        ys = (y - self._y_mean) / self._y_std
+        self._build(t.shape[1], t.shape[2], xf.shape[1] if xf is not None else 0)
+        p = self.params
+        opt = Adam(lr=p.lr)
+        n = t.shape[0]
+        self.loss_history_ = []
+        for _ in range(p.epochs):
+            perm = self._rng.permutation(n)
+            loss = 0.0
+            for s in range(0, n, p.batch_size):
+                idx = perm[s : s + p.batch_size]
+                pred = self._forward(t[idx], None if xf is None else xf[idx])
+                diff = pred - ys[idx]
+                loss += float((diff**2).sum())
+                self._backward(2.0 * diff / idx.shape[0])
+                for layer in self._layers():
+                    opt.step(layer.params_and_grads())
+            self.loss_history_.append(loss / n)
+        return self
+
+    def predict(self, X_flat, traces) -> np.ndarray:
+        if self._conv is None:
+            raise RuntimeError("model is not fitted")
+        t, xf = self._normalize(traces, X_flat, fit=False)
+        out = self._forward(t, xf)
+        return out.ravel() * self._y_std + self._y_mean
+
+
+def tune_cnn(
+    X_flat,
+    traces,
+    y,
+    n_trials: int = 8,
+    val_fraction: float = 0.25,
+    rng=None,
+) -> tuple[CNNRegressor, CNNHyperParams]:
+    """Random-search hyper-parameter tuning (the paper uses TUNE [17]).
+
+    Returns the best model (refit on everything) and its parameters.
+    """
+    if n_trials < 1:
+        raise ValueError("n_trials must be >= 1")
+    rng = as_rng(rng)
+    y = np.asarray(y, dtype=float)
+    n = y.shape[0]
+    n_val = max(1, int(n * val_fraction))
+    perm = rng.permutation(n)
+    val, train = perm[:n_val], perm[n_val:]
+    t = np.asarray(traces, dtype=float)
+    xf = None if X_flat is None else np.asarray(X_flat, dtype=float)
+
+    def subset(idx):
+        return (None if xf is None else xf[idx]), t[idx], y[idx]
+
+    best_err = np.inf
+    best_params = None
+    trial_rngs = spawn_rngs(rng, n_trials)
+    max_k = min(t.shape[1], t.shape[2], 5)
+    for t_rng in trial_rngs:
+        k = int(t_rng.integers(2, max_k + 1))
+        params = CNNHyperParams(
+            n_filters=int(t_rng.choice([4, 8, 16])),
+            kernel=(k, k),
+            hidden=int(t_rng.choice([16, 32, 64])),
+            epochs=int(t_rng.choice([30, 60])),
+            batch_size=int(t_rng.choice([16, 32])),
+            lr=float(t_rng.choice([3e-4, 1e-3, 3e-3])),
+            dropout=0.0,
+        )
+        model = CNNRegressor(params, rng=t_rng)
+        xtr, ttr, ytr = subset(train)
+        model.fit(xtr, ttr, ytr)
+        xv, tv, yv = subset(val)
+        err = float(np.mean((model.predict(xv, tv) - yv) ** 2))
+        if err < best_err:
+            best_err, best_params = err, params
+    final = CNNRegressor(best_params, rng=rng)
+    final.fit(xf, t, y)
+    return final, best_params

@@ -1,0 +1,34 @@
+"""Single decision tree baseline (Figure 6's 'decision tree')."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.forest.tree import RegressionTree
+
+
+class DecisionTreeBaseline:
+    """One CART tree over all features — the paper's simple non-linear
+    model, which over-fits where deep forests generalize."""
+
+    def __init__(
+        self, max_depth: int | None = 10, min_samples_leaf: int = 3, rng=None
+    ):
+        self._tree = RegressionTree(
+            max_depth=max_depth,
+            min_samples_leaf=min_samples_leaf,
+            max_features=None,
+            splitter="best",
+            rng=rng,
+        )
+
+    def fit(self, X, y) -> "DecisionTreeBaseline":
+        self._tree.fit(X, y)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        return self._tree.predict(X)
+
+    @property
+    def depth(self) -> int:
+        return self._tree.depth

@@ -1,0 +1,50 @@
+"""Ridge-stabilized linear regression (the Figure 6 'linear' baseline)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RidgeRegression:
+    """Standardized linear least squares with L2 regularization.
+
+    The paper's linear baseline conflates cache counters with the
+    processes driving response time; its large error in Figure 6 is the
+    motivation for deep features.
+    """
+
+    def __init__(self, alpha: float = 1.0):
+        if alpha < 0:
+            raise ValueError("alpha must be >= 0")
+        self.alpha = alpha
+        self._coef: np.ndarray | None = None
+
+    def fit(self, X, y) -> "RidgeRegression":
+        X = np.ascontiguousarray(X, dtype=float)
+        y = np.ascontiguousarray(y, dtype=float)
+        if X.ndim != 2 or X.shape[0] != y.shape[0]:
+            raise ValueError(f"bad shapes: X {X.shape}, y {y.shape}")
+        self._x_mean = X.mean(axis=0)
+        self._x_std = X.std(axis=0)
+        self._x_std[self._x_std == 0] = 1.0
+        self._y_mean = float(y.mean())
+        Xs = (X - self._x_mean) / self._x_std
+        ys = y - self._y_mean
+        d = Xs.shape[1]
+        A = Xs.T @ Xs + self.alpha * np.eye(d)
+        b = Xs.T @ ys
+        self._coef = np.linalg.solve(A, b)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        if self._coef is None:
+            raise RuntimeError("model is not fitted")
+        X = np.ascontiguousarray(X, dtype=float)
+        Xs = (X - self._x_mean) / self._x_std
+        return Xs @ self._coef + self._y_mean
+
+    @property
+    def coef_(self) -> np.ndarray:
+        if self._coef is None:
+            raise RuntimeError("model is not fitted")
+        return self._coef

@@ -1,0 +1,185 @@
+"""NumPy LSTM regressor over counter traces.
+
+Section 4.1's future work proposes "more complicated neural network
+structures, e.g., residual and long short-term memory (LSTM) networks"
+for the reliability/accuracy trade-off.  This is a from-scratch LSTM
+with full backpropagation through time, reading the trace column-by-
+column (each sampling tick is one step, counters are the step features).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_rng
+from repro.baselines.mlp import Adam, _Dense
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -60, 60)))
+
+
+class _LSTMCore:
+    """One-layer LSTM with BPTT over full sequences."""
+
+    def __init__(self, n_in: int, n_hidden: int, rng):
+        scale = 1.0 / np.sqrt(n_in + n_hidden)
+        self.Wx = rng.normal(0.0, scale, size=(n_in, 4 * n_hidden))
+        self.Wh = rng.normal(0.0, scale, size=(n_hidden, 4 * n_hidden))
+        self.b = np.zeros(4 * n_hidden)
+        # Positive forget-gate bias: standard trick for gradient flow.
+        self.b[n_hidden : 2 * n_hidden] = 1.0
+        self.n_hidden = n_hidden
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """(n, T, d) -> final hidden state (n, h); caches for backward."""
+        n, T, d = x.shape
+        h = self.n_hidden
+        self._x = x
+        self._cache = []
+        h_t = np.zeros((n, h))
+        c_t = np.zeros((n, h))
+        for t in range(T):
+            z = x[:, t] @ self.Wx + h_t @ self.Wh + self.b
+            i = _sigmoid(z[:, :h])
+            f = _sigmoid(z[:, h : 2 * h])
+            g = np.tanh(z[:, 2 * h : 3 * h])
+            o = _sigmoid(z[:, 3 * h :])
+            c_prev = c_t
+            c_t = f * c_prev + i * g
+            tanh_c = np.tanh(c_t)
+            h_prev = h_t
+            h_t = o * tanh_c
+            self._cache.append((i, f, g, o, c_prev, c_t, tanh_c, h_prev))
+        return h_t
+
+    def backward(self, grad_h: np.ndarray) -> None:
+        """Accumulate dWx/dWh/db from the gradient of the final hidden."""
+        x = self._x
+        n, T, d = x.shape
+        h = self.n_hidden
+        self.dWx = np.zeros_like(self.Wx)
+        self.dWh = np.zeros_like(self.Wh)
+        self.db = np.zeros_like(self.b)
+        dh = grad_h
+        dc = np.zeros((n, h))
+        for t in reversed(range(T)):
+            i, f, g, o, c_prev, c_t, tanh_c, h_prev = self._cache[t]
+            do = dh * tanh_c
+            dc = dc + dh * o * (1 - tanh_c**2)
+            di = dc * g
+            df = dc * c_prev
+            dg = dc * i
+            dz = np.concatenate(
+                [
+                    di * i * (1 - i),
+                    df * f * (1 - f),
+                    dg * (1 - g**2),
+                    do * o * (1 - o),
+                ],
+                axis=1,
+            )
+            self.dWx += x[:, t].T @ dz
+            self.dWh += h_prev.T @ dz
+            self.db += dz.sum(axis=0)
+            dh = dz @ self.Wh.T
+            dc = dc * f
+        # Clip to keep BPTT stable on long traces.
+        for garr in (self.dWx, self.dWh, self.db):
+            np.clip(garr, -5.0, 5.0, out=garr)
+
+    def params_and_grads(self):
+        yield self.Wx, self.dWx
+        yield self.Wh, self.dWh
+        yield self.b, self.db
+
+
+class LSTMRegressor:
+    """LSTM over (n, C, T) traces, optional flat features at the head."""
+
+    def __init__(
+        self,
+        n_hidden: int = 32,
+        epochs: int = 60,
+        batch_size: int = 32,
+        lr: float = 3e-3,
+        rng=None,
+    ):
+        if n_hidden < 1 or epochs < 1 or batch_size < 1:
+            raise ValueError("n_hidden, epochs and batch_size must be >= 1")
+        if lr <= 0:
+            raise ValueError("lr must be > 0")
+        self.n_hidden = n_hidden
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self._rng = as_rng(rng)
+        self._core: _LSTMCore | None = None
+        self.loss_history_: list[float] = []
+
+    def _to_sequence(self, traces: np.ndarray) -> np.ndarray:
+        """(n, C, T) counter traces -> (n, T, C) step sequences."""
+        t = np.ascontiguousarray(traces, dtype=float)
+        if t.ndim != 3:
+            raise ValueError(f"traces must be (n, C, T), got {t.shape}")
+        return np.swapaxes(t, 1, 2).copy()
+
+    def fit(self, X_flat, traces, y) -> "LSTMRegressor":
+        if traces is None:
+            raise ValueError("LSTMRegressor requires traces")
+        seq = self._to_sequence(traces)
+        y = np.ascontiguousarray(y, dtype=float).reshape(-1, 1)
+        if seq.shape[0] != y.shape[0]:
+            raise ValueError("traces and y must have matching first dims")
+        self._s_mean = seq.mean(axis=(0, 1), keepdims=True)
+        self._s_std = seq.std(axis=(0, 1), keepdims=True)
+        self._s_std[self._s_std == 0] = 1.0
+        seq = (seq - self._s_mean) / self._s_std
+        xf = None
+        if X_flat is not None:
+            xf = np.ascontiguousarray(X_flat, dtype=float)
+            self._f_mean, self._f_std = xf.mean(axis=0), xf.std(axis=0)
+            self._f_std[self._f_std == 0] = 1.0
+            xf = (xf - self._f_mean) / self._f_std
+        self._has_flat = xf is not None
+        self._y_mean, self._y_std = float(y.mean()), float(y.std()) or 1.0
+        ys = (y - self._y_mean) / self._y_std
+
+        d = seq.shape[2]
+        extra = xf.shape[1] if xf is not None else 0
+        self._core = _LSTMCore(d, self.n_hidden, self._rng)
+        self._head = _Dense(self.n_hidden + extra, 1, self._rng)
+        opt = Adam(lr=self.lr)
+        n = seq.shape[0]
+        self.loss_history_ = []
+        for _ in range(self.epochs):
+            perm = self._rng.permutation(n)
+            loss = 0.0
+            for s in range(0, n, self.batch_size):
+                idx = perm[s : s + self.batch_size]
+                h = self._core.forward(seq[idx])
+                feats = (
+                    np.concatenate([h, xf[idx]], axis=1) if xf is not None else h
+                )
+                pred = self._head.forward(feats)
+                diff = pred - ys[idx]
+                loss += float((diff**2).sum())
+                grad = self._head.backward(2.0 * diff / idx.shape[0])
+                self._core.backward(grad[:, : self.n_hidden])
+                opt.step(self._head.params_and_grads())
+                opt.step(self._core.params_and_grads())
+            self.loss_history_.append(loss / n)
+        return self
+
+    def predict(self, X_flat, traces) -> np.ndarray:
+        if self._core is None:
+            raise RuntimeError("model is not fitted")
+        seq = (self._to_sequence(traces) - self._s_mean) / self._s_std
+        h = self._core.forward(seq)
+        if self._has_flat:
+            if X_flat is None:
+                raise ValueError("model was fitted with flat features")
+            xf = (np.asarray(X_flat, dtype=float) - self._f_mean) / self._f_std
+            h = np.concatenate([h, xf], axis=1)
+        out = self._head.forward(h)
+        return out.ravel() * self._y_std + self._y_mean

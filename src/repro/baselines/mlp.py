@@ -1,0 +1,183 @@
+"""NumPy MLP with backpropagation and Adam.
+
+Provides the dense layers the CNN baseline reuses.  Back-prop models
+overwrite weights during training, which is the source of the run-to-
+run variance Figure 5 contrasts against deep forests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_rng
+
+
+class _Dense:
+    """Fully connected layer with He-initialized weights."""
+
+    def __init__(self, n_in: int, n_out: int, rng):
+        self.W = rng.normal(0.0, np.sqrt(2.0 / n_in), size=(n_in, n_out))
+        self.b = np.zeros(n_out)
+        self._x = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return x @ self.W + self.b
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        self.dW = self._x.T @ grad
+        self.db = grad.sum(axis=0)
+        return grad @ self.W.T
+
+    def params_and_grads(self):
+        yield self.W, self.dW
+        yield self.b, self.db
+
+
+class _ReLU:
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad * self._mask
+
+    def params_and_grads(self):
+        return iter(())
+
+
+class _Dropout:
+    """Inverted dropout; active only during training."""
+
+    def __init__(self, rate: float, rng):
+        if not 0 <= rate < 1:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.rate = rate
+        self.rng = rng
+        self.training = True
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.rate == 0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self.rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad if self._mask is None else grad * self._mask
+
+    def params_and_grads(self):
+        return iter(())
+
+
+class Adam:
+    """Adam optimizer over (param, grad) pairs keyed by identity."""
+
+    def __init__(self, lr: float = 1e-3, beta1=0.9, beta2=0.999, eps=1e-8):
+        if lr <= 0:
+            raise ValueError("lr must be > 0")
+        self.lr, self.beta1, self.beta2, self.eps = lr, beta1, beta2, eps
+        self._m: dict[int, np.ndarray] = {}
+        self._v: dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def step(self, params_and_grads) -> None:
+        self._t += 1
+        for p, g in params_and_grads:
+            key = id(p)
+            m = self._m.setdefault(key, np.zeros_like(p))
+            v = self._v.setdefault(key, np.zeros_like(p))
+            m += (1 - self.beta1) * (g - m)
+            v += (1 - self.beta2) * (g * g - v)
+            mh = m / (1 - self.beta1**self._t)
+            vh = v / (1 - self.beta2**self._t)
+            p -= self.lr * mh / (np.sqrt(vh) + self.eps)
+
+
+class MLPRegressor:
+    """Multi-layer perceptron trained with Adam on MSE loss."""
+
+    def __init__(
+        self,
+        hidden: tuple[int, ...] = (64, 32),
+        epochs: int = 100,
+        batch_size: int = 32,
+        lr: float = 1e-3,
+        dropout: float = 0.0,
+        rng=None,
+    ):
+        if epochs < 1 or batch_size < 1:
+            raise ValueError("epochs and batch_size must be >= 1")
+        self.hidden = tuple(hidden)
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.dropout = dropout
+        self._rng = as_rng(rng)
+        self._layers: list = []
+        self.loss_history_: list[float] = []
+
+    def _build(self, n_in: int) -> None:
+        self._layers = []
+        prev = n_in
+        for h in self.hidden:
+            self._layers.append(_Dense(prev, h, self._rng))
+            self._layers.append(_ReLU())
+            if self.dropout > 0:
+                self._layers.append(_Dropout(self.dropout, self._rng))
+            prev = h
+        self._layers.append(_Dense(prev, 1, self._rng))
+
+    def _forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self._layers:
+            x = layer.forward(x)
+        return x
+
+    def _backward(self, grad: np.ndarray) -> None:
+        for layer in reversed(self._layers):
+            grad = layer.backward(grad)
+
+    def _set_training(self, training: bool) -> None:
+        for layer in self._layers:
+            if isinstance(layer, _Dropout):
+                layer.training = training
+
+    def fit(self, X, y) -> "MLPRegressor":
+        X = np.ascontiguousarray(X, dtype=float)
+        y = np.ascontiguousarray(y, dtype=float).reshape(-1, 1)
+        if X.ndim != 2 or X.shape[0] != y.shape[0]:
+            raise ValueError(f"bad shapes: X {X.shape}, y {y.shape}")
+        self._x_mean, self._x_std = X.mean(axis=0), X.std(axis=0)
+        self._x_std[self._x_std == 0] = 1.0
+        self._y_mean, self._y_std = float(y.mean()), float(y.std()) or 1.0
+        Xs = (X - self._x_mean) / self._x_std
+        ys = (y - self._y_mean) / self._y_std
+        self._build(X.shape[1])
+        opt = Adam(lr=self.lr)
+        n = X.shape[0]
+        self.loss_history_ = []
+        self._set_training(True)
+        for _ in range(self.epochs):
+            perm = self._rng.permutation(n)
+            epoch_loss = 0.0
+            for s in range(0, n, self.batch_size):
+                idx = perm[s : s + self.batch_size]
+                xb, yb = Xs[idx], ys[idx]
+                pred = self._forward(xb)
+                diff = pred - yb
+                epoch_loss += float((diff**2).sum())
+                self._backward(2.0 * diff / xb.shape[0])
+                for layer in self._layers:
+                    opt.step(layer.params_and_grads())
+            self.loss_history_.append(epoch_loss / n)
+        self._set_training(False)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        if not self._layers:
+            raise RuntimeError("model is not fitted")
+        X = np.ascontiguousarray(X, dtype=float)
+        Xs = (X - self._x_mean) / self._x_std
+        self._set_training(False)
+        return self._forward(Xs).ravel() * self._y_std + self._y_mean

@@ -1,0 +1,156 @@
+"""Competing cache allocation policies (Figure 8).
+
+Each policy produces a timeout vector (one per collocated service);
+``numpy.inf`` means "never request short-term allocation" (private cache
+only) and ``0.0`` means "always use the shared cache".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.queueing.metrics import ResponseTimeSummary, summarize_response_times
+from repro.testbed.collocation import CollocatedService, CollocationConfig
+from repro.testbed.machine import XeonSpec
+from repro.testbed.runtime import CollocationRuntime
+from repro.workloads.base import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """A named timeout vector chosen by some policy."""
+
+    name: str
+    timeouts: tuple[float, ...]
+
+
+class RuntimeEvaluator:
+    """Evaluate timeout vectors on the ground-truth testbed.
+
+    Results are cached by (timeouts, utilization) so policy searches and
+    benchmark comparisons can share runs.
+    """
+
+    def __init__(
+        self,
+        machine: XeonSpec,
+        specs: list[WorkloadSpec],
+        utilization: float = 0.9,
+        n_queries: int = 1500,
+        private_mb: float = 2.0,
+        shared_mb: float = 2.0,
+        rng: int = 0,
+    ):
+        self.machine = machine
+        self.specs = list(specs)
+        self.utilization = utilization
+        self.n_queries = n_queries
+        self.private_mb = private_mb
+        self.shared_mb = shared_mb
+        self.rng = rng
+        self._cache: dict = {}
+
+    @property
+    def n_services(self) -> int:
+        return len(self.specs)
+
+    def evaluate(
+        self, timeouts, utilization: float | None = None
+    ) -> list[ResponseTimeSummary]:
+        """Per-service normalized response-time summaries for a vector."""
+        util = self.utilization if utilization is None else utilization
+        key = (tuple(float(t) for t in timeouts), util)
+        if key in self._cache:
+            return self._cache[key]
+        cfg = CollocationConfig(
+            machine=self.machine,
+            services=[
+                CollocatedService(spec, timeout=t, utilization=util)
+                for spec, t in zip(self.specs, timeouts)
+            ],
+            private_mb=self.private_mb,
+            shared_mb=self.shared_mb,
+        )
+        res = CollocationRuntime(cfg, rng=self.rng).run(n_queries=self.n_queries)
+        out = [summarize_response_times(s.response_times_norm) for s in res.services]
+        self._cache[key] = out
+        return out
+
+    def p95(self, timeouts, utilization: float | None = None) -> np.ndarray:
+        return np.array(
+            [s.p95 for s in self.evaluate(timeouts, utilization=utilization)]
+        )
+
+
+def no_sharing_policy(n_services: int) -> PolicyDecision:
+    """Baseline: every workload keeps to its private cache (Figure 8's
+    normalization baseline)."""
+    if n_services < 1:
+        raise ValueError("n_services must be >= 1")
+    return PolicyDecision("no-sharing", (np.inf,) * n_services)
+
+
+def static_best_policy(evaluator: RuntimeEvaluator) -> PolicyDecision:
+    """Static allocation: fully share (timeout 0) or fully private
+    (timeout inf) — whichever yields the better mean p95."""
+    n = evaluator.n_services
+    share = (0.0,) * n
+    private = (np.inf,) * n
+    p_share = evaluator.p95(share).mean()
+    p_priv = evaluator.p95(private).mean()
+    if p_share <= p_priv:
+        return PolicyDecision("static-share", share)
+    return PolicyDecision("static-private", private)
+
+
+def dcat_policy(
+    evaluator: RuntimeEvaluator,
+) -> PolicyDecision:
+    """Workload-aware allocation (dCat [31]).
+
+    Throughput-profiles each workload in isolation (fixed phases) and
+    assigns the whole shared region to the workload with the greatest
+    standalone speedup; the others keep only their private cache.
+    """
+    mb = 1024 * 1024
+    private = evaluator.private_mb * mb
+    boosted = (evaluator.private_mb + evaluator.shared_mb) * mb
+    speedups = [spec.speedup(boosted) / spec.speedup(private) for spec in evaluator.specs]
+    winner = int(np.argmax(speedups))
+    timeouts = tuple(
+        0.0 if i == winner else np.inf for i in range(evaluator.n_services)
+    )
+    return PolicyDecision("dcat", timeouts)
+
+
+def dynasprint_policy(
+    evaluator: RuntimeEvaluator,
+    timeout_grid=(0.0, 0.5, 1.0, 1.5, 3.0),
+    calibration_utilization: float = 0.25,
+) -> PolicyDecision:
+    """IPC-driven dynamic allocation (dynaSprint [12]).
+
+    Picks each service's timeout independently at a *low* arrival rate
+    (maximum standalone benefit, partner idle on private cache), then
+    reuses those settings at the target rate — ignoring queueing delay,
+    which is exactly the weakness Section 5.2 describes.
+    """
+    if len(timeout_grid) == 0:
+        raise ValueError("timeout_grid must be non-empty")
+    n = evaluator.n_services
+    chosen = []
+    for i in range(n):
+        best_t, best_p95 = np.inf, np.inf
+        for t in timeout_grid:
+            timeouts = tuple(
+                t if j == i else np.inf for j in range(n)
+            )
+            p95 = evaluator.p95(
+                timeouts, utilization=calibration_utilization
+            )[i]
+            if p95 < best_p95:
+                best_p95, best_t = p95, t
+        chosen.append(best_t)
+    return PolicyDecision("dynasprint", tuple(chosen))

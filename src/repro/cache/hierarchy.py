@@ -1,0 +1,137 @@
+"""Three-level cache hierarchy (L1D/L1I, L2, LLC) used by the profiler.
+
+The hierarchy routes an access stream through successive levels: a miss
+at level *i* is forwarded to level *i+1*.  Only the LLC honours CAT way
+masks.  Per-level hit/miss counts feed the synthetic architectural
+counters in :mod:`repro.counters`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cache.cat import WayMask
+from repro.cache.geometry import CacheGeometry
+from repro.cache.setassoc import SetAssociativeCache
+
+
+@dataclass(frozen=True)
+class CacheLevelSpec:
+    """Size/associativity spec for one level."""
+
+    name: str
+    size_bytes: int
+    n_ways: int
+    line_size: int = 64
+
+    def geometry(self) -> CacheGeometry:
+        return CacheGeometry.from_size(self.size_bytes, self.n_ways, self.line_size)
+
+
+#: Per-core private levels loosely modeled on a Broadwell Xeon.
+DEFAULT_L1D = CacheLevelSpec("L1D", 32 * 1024, 8)
+DEFAULT_L1I = CacheLevelSpec("L1I", 32 * 1024, 8)
+DEFAULT_L2 = CacheLevelSpec("L2", 256 * 1024, 8)
+
+
+@dataclass
+class HierarchyCounters:
+    """Raw event counts produced by one simulated access batch.
+
+    Field names mirror the architectural counters sampled in Section 5
+    (loads, stores and misses per level).
+    """
+
+    l1d_loads: int = 0
+    l1d_load_misses: int = 0
+    l1d_stores: int = 0
+    l1d_store_misses: int = 0
+    l1i_loads: int = 0
+    l1i_load_misses: int = 0
+    l2_requests: int = 0
+    l2_misses: int = 0
+    l2_stores: int = 0
+    llc_loads: int = 0
+    llc_load_misses: int = 0
+    llc_stores: int = 0
+    llc_store_misses: int = 0
+    llc_evictions: int = 0
+
+    def merge(self, other: "HierarchyCounters") -> "HierarchyCounters":
+        out = HierarchyCounters()
+        for f in vars(out):
+            setattr(out, f, getattr(self, f) + getattr(other, f))
+        return out
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(vars(self))
+
+
+@dataclass
+class CacheHierarchy:
+    """L1 + L2 private caches in front of a shared, CAT-managed LLC.
+
+    The LLC instance is shared between hierarchies of collocated
+    workloads; each workload wraps it with its own L1/L2.
+    """
+
+    llc: SetAssociativeCache
+    l1d_spec: CacheLevelSpec = DEFAULT_L1D
+    l2_spec: CacheLevelSpec = DEFAULT_L2
+    cos_id: int = 0
+    l1d: SetAssociativeCache = field(init=False)
+    l2: SetAssociativeCache = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.l1d = SetAssociativeCache(self.l1d_spec.geometry())
+        self.l2 = SetAssociativeCache(self.l2_spec.geometry())
+
+    def access(
+        self,
+        addresses,
+        llc_mask: WayMask | None = None,
+        store_fraction: float = 0.3,
+        rng: np.random.Generator | None = None,
+    ) -> HierarchyCounters:
+        """Route a load/store stream through L1D -> L2 -> LLC.
+
+        ``store_fraction`` of the accesses are accounted as stores (the
+        simulator is write-allocate, so the routing is identical; only
+        the counter attribution differs).
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        n = addresses.shape[0]
+        c = HierarchyCounters()
+        if n == 0:
+            return c
+        if rng is None:
+            rng = np.random.default_rng(0)
+        is_store = rng.random(n) < store_fraction
+
+        r1 = self.l1d.access(addresses)
+        c.l1d_loads = int((~is_store).sum())
+        c.l1d_stores = int(is_store.sum())
+        miss1 = ~r1.hits
+        c.l1d_load_misses = int((miss1 & ~is_store).sum())
+        c.l1d_store_misses = int((miss1 & is_store).sum())
+
+        a2 = addresses[miss1]
+        s2 = is_store[miss1]
+        r2 = self.l2.access(a2)
+        c.l2_requests = a2.shape[0]
+        c.l2_stores = int(s2.sum())
+        miss2 = ~r2.hits
+        c.l2_misses = int(miss2.sum())
+
+        a3 = a2[miss2]
+        s3 = s2[miss2]
+        r3 = self.llc.access(a3, mask=llc_mask, cos_id=self.cos_id)
+        miss3 = ~r3.hits
+        c.llc_loads = int((~s3).sum())
+        c.llc_stores = int(s3.sum())
+        c.llc_load_misses = int((miss3 & ~s3).sum())
+        c.llc_store_misses = int((miss3 & s3).sum())
+        c.llc_evictions = r3.n_evictions
+        return c

@@ -1,0 +1,81 @@
+"""Cache Monitoring Technology (CMT) and Memory Bandwidth Monitoring.
+
+Intel ships CAT alongside CMT/MBM (reference [5] of the paper is
+intel.com's "cache monitoring technology" page): per-class-of-service
+LLC occupancy and memory-bandwidth readings.  ``CacheMonitor`` provides
+the same two observables over the set-associative simulator — the
+runtime counterpart of the offline counter profiler, and what a
+production deployment of dCat-style managers polls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.setassoc import SetAssociativeCache
+
+
+@dataclass(frozen=True)
+class MonitorReading:
+    """One CMT/MBM sample for a class of service."""
+
+    cos_id: int
+    occupancy_bytes: int
+    occupancy_fraction: float
+    installs: int
+    evictions_suffered: int
+    local_bandwidth_bytes: int  # MBM-style: lines installed x line size
+
+    @property
+    def churn_ratio(self) -> float:
+        """Evictions suffered per line installed — a contention signal."""
+        return self.evictions_suffered / self.installs if self.installs else 0.0
+
+
+class CacheMonitor:
+    """Per-COS occupancy and bandwidth monitor for one cache instance.
+
+    Bandwidth readings are deltas since the previous ``read`` of the
+    same COS, mirroring MBM's monotonically increasing MSR counters.
+    """
+
+    def __init__(self, cache: SetAssociativeCache):
+        self.cache = cache
+        self._last_installs: dict[int, int] = {}
+        self._last_evictions: dict[int, int] = {}
+
+    def occupancy_bytes(self, cos_id: int) -> int:
+        """Bytes currently resident for the class of service."""
+        lines = self.cache.occupancy_by_owner().get(cos_id, 0)
+        return lines * self.cache.geometry.line_size
+
+    def read(self, cos_id: int) -> MonitorReading:
+        """Sample one COS; bandwidth is since this COS's previous read."""
+        installs_total = self.cache.installs_by_owner.get(cos_id, 0)
+        evict_total = self.cache.evictions_by_owner.get(cos_id, 0)
+        d_installs = installs_total - self._last_installs.get(cos_id, 0)
+        d_evict = evict_total - self._last_evictions.get(cos_id, 0)
+        self._last_installs[cos_id] = installs_total
+        self._last_evictions[cos_id] = evict_total
+        occ = self.occupancy_bytes(cos_id)
+        return MonitorReading(
+            cos_id=cos_id,
+            occupancy_bytes=occ,
+            occupancy_fraction=occ / self.cache.geometry.size_bytes,
+            installs=d_installs,
+            evictions_suffered=d_evict,
+            local_bandwidth_bytes=d_installs * self.cache.geometry.line_size,
+        )
+
+    def read_all(self) -> dict[int, MonitorReading]:
+        """Sample every COS that has ever installed a line."""
+        seen = set(self.cache.installs_by_owner) | set(
+            self.cache.occupancy_by_owner()
+        )
+        seen.discard(SetAssociativeCache.INVALID_OWNER)
+        return {cos: self.read(cos) for cos in sorted(seen)}
+
+    def reset(self) -> None:
+        """Forget previous read positions (bandwidth baselines)."""
+        self._last_installs.clear()
+        self._last_evictions.clear()

@@ -1,0 +1,173 @@
+"""Non-contiguous cache allocation (Section 2's closing remark).
+
+The paper's structural results — private regions disjoint, at most two
+sharers per short-term setting — are consequences of Intel CAT's
+*contiguous* capacity bitmasks.  Section 2 notes the shared-cache
+analysis "is also relevant to non-contiguous cache allocation"; this
+module provides arbitrary way sets and shows what changes: with
+non-contiguous masks a short-term allocation can share cache with any
+number of other settings while every workload still keeps private ways.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cache.cat import WayMask
+
+
+@dataclass(frozen=True)
+class WaySet:
+    """An arbitrary (possibly non-contiguous) set of cache ways."""
+
+    ways: frozenset
+
+    def __post_init__(self) -> None:
+        if not self.ways:
+            raise ValueError("a way set must be non-empty")
+        if any((not isinstance(w, (int, np.integer))) or w < 0 for w in self.ways):
+            raise ValueError("ways must be non-negative integers")
+        object.__setattr__(self, "ways", frozenset(int(w) for w in self.ways))
+
+    @classmethod
+    def from_mask(cls, mask: WayMask) -> "WaySet":
+        return cls(frozenset(int(w) for w in mask.ways()))
+
+    @classmethod
+    def from_bitmask(cls, bits: int) -> "WaySet":
+        if bits <= 0:
+            raise ValueError("bitmask must have at least one bit set")
+        return cls(frozenset(i for i in range(bits.bit_length()) if bits >> i & 1))
+
+    def bitmask(self) -> int:
+        return sum(1 << w for w in self.ways)
+
+    @property
+    def size(self) -> int:
+        return len(self.ways)
+
+    @property
+    def is_contiguous(self) -> bool:
+        lo, hi = min(self.ways), max(self.ways)
+        return hi - lo + 1 == len(self.ways)
+
+    def covers(self, other: "WaySet") -> bool:
+        return other.ways <= self.ways
+
+    def overlaps(self, other: "WaySet") -> bool:
+        return bool(self.ways & other.ways)
+
+    def union(self, other: "WaySet") -> "WaySet":
+        return WaySet(self.ways | other.ways)
+
+    def intersection(self, other: "WaySet") -> "WaySet | None":
+        inter = self.ways & other.ways
+        return WaySet(inter) if inter else None
+
+    def difference(self, other: "WaySet") -> "WaySet | None":
+        diff = self.ways - other.ways
+        return WaySet(diff) if diff else None
+
+
+@dataclass(frozen=True)
+class NonContiguousPolicy:
+    """A short-term policy over arbitrary way sets."""
+
+    default: WaySet
+    boost: WaySet
+    timeout: float
+
+    def __post_init__(self) -> None:
+        if self.timeout < 0:
+            raise ValueError("timeout must be >= 0")
+        if not self.boost.covers(self.default):
+            raise ValueError("boost set must cover the default set")
+
+    @property
+    def gross_increase(self) -> float:
+        return self.boost.size / self.default.size
+
+
+@dataclass
+class NonContiguousController:
+    """Class-of-service registry without the contiguity constraint."""
+
+    n_ways: int
+    _policies: dict = field(default_factory=dict)
+
+    def register(self, workload: str, policy: NonContiguousPolicy) -> None:
+        top = max(policy.boost.ways)
+        if top >= self.n_ways:
+            raise ValueError(
+                f"policy for {workload!r} uses way {top} on a {self.n_ways}-way LLC"
+            )
+        self._policies[workload] = policy
+
+    @property
+    def workloads(self) -> list[str]:
+        return list(self._policies)
+
+    def private_region(self, workload: str) -> WaySet | None:
+        """Ways in both the default and boost sets that no other policy
+        ever enables (Eq. 1 generalized to arbitrary sets)."""
+        pol = self._policies[workload]
+        base = pol.default.ways & pol.boost.ways
+        for name, other in self._policies.items():
+            if name == workload:
+                continue
+            base = base - other.default.ways - other.boost.ways
+        return WaySet(base) if base else None
+
+    def sharer_counts(self) -> dict[str, int]:
+        counts = {}
+        for name, pol in self._policies.items():
+            n = 0
+            for other_name, other in self._policies.items():
+                if other_name == name:
+                    continue
+                if pol.boost.overlaps(other.boost) or pol.boost.overlaps(
+                    other.default
+                ):
+                    n += 1
+            counts[name] = n
+        return counts
+
+    def max_sharers(self) -> int:
+        return max(self.sharer_counts().values(), default=0)
+
+    def all_have_private_cache(self) -> bool:
+        return all(
+            self.private_region(w) is not None for w in self._policies
+        )
+
+
+def star_layout(
+    n_workloads: int,
+    private_ways_each: int,
+    shared_ways: int,
+    timeout: float = 1.0,
+) -> list[NonContiguousPolicy]:
+    """A layout impossible under contiguous CAT: one shared pool that
+    *every* workload can borrow during short-term allocation, while each
+    keeps disjoint private ways.
+
+    Ways ``[0, shared_ways)`` form the pool; workload *i* owns the
+    private ways ``[shared + i*p, shared + (i+1)*p)``.  Under contiguous
+    allocation this requires >2 sharers of one region, which Section 2
+    proves impossible; non-contiguous masks allow it directly.
+    """
+    if n_workloads < 1 or private_ways_each < 1 or shared_ways < 1:
+        raise ValueError("need positive workload count, private and shared ways")
+    pool = WaySet(frozenset(range(shared_ways)))
+    out = []
+    for i in range(n_workloads):
+        lo = shared_ways + i * private_ways_each
+        private = WaySet(frozenset(range(lo, lo + private_ways_each)))
+        out.append(
+            NonContiguousPolicy(
+                default=private, boost=private.union(pool), timeout=timeout
+            )
+        )
+    return out

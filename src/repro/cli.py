@@ -1,0 +1,243 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+workloads   print the Table 1 benchmark registry
+machines    print the Xeon catalogue
+simulate    run a collocation on the testbed and report response times
+profile     run a Stage 1 profiling campaign and save it as .npz
+policy      profile, train the model and print a recommended timeout vector
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.baselines import RuntimeEvaluator, no_sharing_policy
+from repro.core import StacModel, model_driven_policy, uniform_conditions
+from repro.core.profiler import Profiler, ProfilerSettings
+from repro.testbed import (
+    MACHINES,
+    CollocatedService,
+    CollocationConfig,
+    CollocationRuntime,
+    get_machine,
+)
+from repro.workloads import get_workload, table1_rows
+
+
+def _cmd_workloads(args) -> int:
+    rows = [
+        [r["wrk_id"], r["description"], r["cache_access_pattern"]]
+        for r in table1_rows()
+    ]
+    print(
+        format_table(
+            ["wrk id", "description", "cache access pattern"],
+            rows,
+            title="Table 1 workloads",
+        )
+    )
+    return 0
+
+
+def _cmd_machines(args) -> int:
+    rows = [
+        [m.name, m.n_cores, m.llc_mb, m.llc_ways, m.max_collocated]
+        for m in MACHINES.values()
+    ]
+    print(
+        format_table(
+            ["machine", "cores", "LLC MB", "ways", "max collocated"],
+            rows,
+            title="Xeon catalogue",
+            precision=1,
+        )
+    )
+    return 0
+
+
+def _parse_timeout(value: str) -> float:
+    if value.lower() in ("inf", "never"):
+        return np.inf
+    t = float(value)
+    if t < 0:
+        raise argparse.ArgumentTypeError("timeout must be >= 0 (or 'inf')")
+    return t
+
+
+def _cmd_simulate(args) -> int:
+    machine = get_machine(args.machine)
+    timeouts = args.timeouts or [np.inf] * len(args.pair)
+    if len(timeouts) != len(args.pair):
+        print("error: need one timeout per workload", file=sys.stderr)
+        return 2
+    cfg = CollocationConfig(
+        machine=machine,
+        services=[
+            CollocatedService(
+                get_workload(name), timeout=t, utilization=args.utilization
+            )
+            for name, t in zip(args.pair, timeouts)
+        ],
+        private_mb=args.private_mb,
+        shared_mb=args.shared_mb,
+    )
+    res = CollocationRuntime(cfg, rng=args.seed).run(n_queries=args.queries)
+    rows = []
+    for s in res.services:
+        rt = s.response_times_norm
+        rows.append(
+            [
+                s.name,
+                float(rt.mean()),
+                float(np.percentile(rt, 50)),
+                float(np.percentile(rt, 95)),
+                s.boost_fraction,
+                s.effective_allocation(),
+            ]
+        )
+    print(
+        format_table(
+            ["service", "mean RT", "p50", "p95", "boost frac", "EA"],
+            rows,
+            title=(
+                f"Collocation on {machine.name} at {args.utilization:.0%} load "
+                "(response times relative to each service's baseline)"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    conditions = uniform_conditions(tuple(args.pair), n=args.conditions, rng=args.seed)
+    profiler = Profiler(
+        machine=get_machine(args.machine),
+        settings=ProfilerSettings(n_queries=args.queries),
+        rng=args.seed,
+    )
+    ds = profiler.profile(conditions)
+    from repro.core.io import save_dataset
+
+    save_dataset(args.out, ds)
+    print(f"profiled {len(ds)} rows over {args.conditions} conditions -> {args.out}")
+    return 0
+
+
+def _cmd_policy(args) -> int:
+    from repro.core.sampling import grid_anchor_conditions
+
+    pair = tuple(args.pair)
+    conditions = uniform_conditions(
+        pair, n=args.conditions, rng=args.seed
+    ) + grid_anchor_conditions(pair, args.utilization)
+    machine = get_machine(args.machine)
+    profiler = Profiler(
+        machine=machine,
+        settings=ProfilerSettings(n_queries=args.queries),
+        rng=args.seed,
+    )
+    print(f"profiling {pair} ({args.conditions} conditions)...")
+    ds = profiler.profile(conditions)
+    print(f"training {args.learner} model on {len(ds)} rows...")
+    model = StacModel(machine=machine, learner=args.learner, rng=args.seed).fit(ds)
+    utils = tuple([args.utilization] * len(pair))
+    decision = model_driven_policy(model, pair, utils)
+    print(f"recommended timeouts (x service time): {decision.timeouts}")
+    if args.verify:
+        evaluator = RuntimeEvaluator(
+            machine=machine,
+            specs=[get_workload(n) for n in pair],
+            utilization=args.utilization,
+            n_queries=args.queries * 3,
+            rng=args.seed + 1,
+        )
+        base = evaluator.p95(no_sharing_policy(len(pair)).timeouts)
+        ours = evaluator.p95(decision.timeouts)
+        rows = [
+            [name, base[i], ours[i], base[i] / ours[i]]
+            for i, name in enumerate(pair)
+        ]
+        print(
+            format_table(
+                ["service", "p95 no-sharing", "p95 chosen", "speedup"],
+                rows,
+                title="Verification on the testbed",
+            )
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Short-term cache allocation modeling (ICPP'22 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="print the Table 1 registry").set_defaults(
+        func=_cmd_workloads
+    )
+    sub.add_parser("machines", help="print the Xeon catalogue").set_defaults(
+        func=_cmd_machines
+    )
+
+    def common(p, timeouts=False):
+        p.add_argument("--pair", nargs="+", required=True, metavar="WORKLOAD")
+        p.add_argument("--machine", default="e5-2683")
+        p.add_argument("--utilization", type=float, default=0.9)
+        p.add_argument("--queries", type=int, default=800)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--private-mb", type=float, default=2.0)
+        p.add_argument("--shared-mb", type=float, default=2.0)
+        if timeouts:
+            p.add_argument(
+                "--timeouts",
+                nargs="+",
+                type=_parse_timeout,
+                help="per-workload STA timeout (x service time; 'inf' disables)",
+            )
+
+    p_sim = sub.add_parser("simulate", help="run one collocation on the testbed")
+    common(p_sim, timeouts=True)
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_prof = sub.add_parser("profile", help="run a profiling campaign, save .npz")
+    common(p_prof)
+    p_prof.add_argument("--conditions", type=int, default=10)
+    p_prof.add_argument("--out", default="profile.npz")
+    p_prof.set_defaults(func=_cmd_profile)
+
+    p_pol = sub.add_parser("policy", help="profile + train + recommend timeouts")
+    common(p_pol)
+    p_pol.add_argument("--conditions", type=int, default=10)
+    p_pol.add_argument(
+        "--learner",
+        default="deep_forest",
+        choices=("deep_forest", "cascade", "random_forest", "tree", "linear"),
+    )
+    p_pol.add_argument("--verify", action="store_true")
+    p_pol.set_defaults(func=_cmd_policy)
+    return parser
+
+
+def main(argv=None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,43 @@
+"""Effective cache allocation (Equation 3) measurement helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.testbed.runtime import ServiceResult
+from repro.workloads.base import WorkloadSpec
+
+
+def window_effective_allocation(
+    result: ServiceResult, sl: slice
+) -> float:
+    """EA measured over one query window of a service's run.
+
+    Splitting long runs into windows multiplies the number of profile
+    rows (Section 3.1: "split long running tests into multiple smaller
+    measurements of effective cache allocation").
+    """
+    return result.window_view(sl).effective_allocation()
+
+
+def ideal_effective_allocation(
+    spec: WorkloadSpec,
+    private_bytes: float,
+    shared_bytes: float,
+    gross_increase: float,
+) -> float:
+    """The no-contention EA a first-principles model would assume.
+
+    EA is the *instantaneous* boosted speedup per unit gross allocation
+    increase; with no sharer contending, the boosted capacity is the
+    whole shared region plus private cache, and the speedup (relative
+    to the default = private allocation) follows the workload's own
+    miss-ratio curve.  This is the assumption behind the Figure 6
+    "queueing model" baseline variants, which ignore shared-way
+    contention entirely.
+    """
+    boosted_speed = float(
+        spec.service_time(private_bytes)
+        / spec.service_time(private_bytes + shared_bytes)
+    )
+    return boosted_speed / gross_increase

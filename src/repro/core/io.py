@@ -1,0 +1,121 @@
+"""Persistence for profile datasets and packed forests.
+
+Profiling campaigns are the expensive stage (Section 5.1 budgets 30
+minutes), so datasets must outlive a process.  Everything serializes to
+a single ``.npz`` (plus a JSON header embedded in it) with no pickling,
+so files are portable and safe to load.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.core.profile_vec import ProfileDataset, ProfileRow, RuntimeCondition
+from repro.forest.fast_inference import PackedForest
+
+
+def save_dataset(path, dataset: ProfileDataset) -> None:
+    """Write a profile dataset to ``path`` (.npz)."""
+    if len(dataset) == 0:
+        raise ValueError("refusing to save an empty dataset")
+    conditions = dataset.conditions()
+    cond_index = {id(c): i for i, c in enumerate(conditions)}
+    header = {
+        "version": 1,
+        "conditions": [
+            {
+                "workloads": list(c.workloads),
+                "utilizations": list(c.utilizations),
+                "timeouts": [
+                    "inf" if np.isinf(t) else float(t) for t in c.timeouts
+                ],
+                "sampling_hz": c.sampling_hz,
+            }
+            for c in conditions
+        ],
+    }
+    np.savez_compressed(
+        path,
+        header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+        x_static=np.stack([r.x_static for r in dataset.rows]),
+        x_dynamic=np.stack([r.x_dynamic for r in dataset.rows]),
+        traces=dataset.traces,
+        y_ea=dataset.y_ea,
+        y_rt_mean=dataset.y_rt_mean,
+        y_rt_p95=dataset.y_rt_p95,
+        service_idx=np.array([r.service_idx for r in dataset.rows]),
+        window_idx=np.array([r.window_idx for r in dataset.rows]),
+        cond_idx=np.array([cond_index[id(r.condition)] for r in dataset.rows]),
+    )
+
+
+def load_dataset(path) -> ProfileDataset:
+    """Read a profile dataset written by :func:`save_dataset`.
+
+    Rows of the same original condition share one
+    :class:`RuntimeCondition` instance, preserving
+    ``split_conditions``/``condition_groups`` semantics.
+    """
+    with np.load(path, allow_pickle=False) as data:
+        header = json.loads(bytes(data["header"].tobytes()).decode())
+        if header.get("version") != 1:
+            raise ValueError(f"unsupported dataset version {header.get('version')}")
+        conditions = [
+            RuntimeCondition(
+                workloads=tuple(c["workloads"]),
+                utilizations=tuple(c["utilizations"]),
+                timeouts=tuple(
+                    np.inf if t == "inf" else float(t) for t in c["timeouts"]
+                ),
+                sampling_hz=c["sampling_hz"],
+            )
+            for c in header["conditions"]
+        ]
+        rows = []
+        for i in range(data["y_ea"].shape[0]):
+            rows.append(
+                ProfileRow(
+                    condition=conditions[int(data["cond_idx"][i])],
+                    service_idx=int(data["service_idx"][i]),
+                    window_idx=int(data["window_idx"][i]),
+                    x_static=data["x_static"][i].copy(),
+                    x_dynamic=data["x_dynamic"][i].copy(),
+                    trace=data["traces"][i].copy(),
+                    ea=float(data["y_ea"][i]),
+                    rt_mean=float(data["y_rt_mean"][i]),
+                    rt_p95=float(data["y_rt_p95"][i]),
+                )
+            )
+    return ProfileDataset(rows=rows)
+
+
+def save_packed_forest(path, packed: PackedForest) -> None:
+    """Write a packed forest to ``path`` (.npz)."""
+    np.savez_compressed(
+        path,
+        feature=packed.feature,
+        threshold=packed.threshold,
+        left=packed.left,
+        right=packed.right,
+        value=packed.value,
+        roots=packed.roots,
+        meta=np.array([packed.n_features, packed.max_depth], dtype=np.int64),
+    )
+
+
+def load_packed_forest(path) -> PackedForest:
+    """Read a packed forest written by :func:`save_packed_forest`."""
+    with np.load(path, allow_pickle=False) as data:
+        n_features, max_depth = (int(x) for x in data["meta"])
+        return PackedForest(
+            feature=data["feature"],
+            threshold=data["threshold"],
+            left=data["left"],
+            right=data["right"],
+            value=data["value"],
+            roots=data["roots"],
+            n_features=n_features,
+            max_depth=max_depth,
+        )

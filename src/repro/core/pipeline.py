@@ -1,0 +1,308 @@
+"""StacModel: the end-to-end short-term-allocation performance model.
+
+Composes the three stages:
+
+1. a :class:`~repro.core.profiler.Profiler` produces a profile dataset,
+2. an :class:`~repro.core.ea_model.EAModel` learns effective cache
+   allocation from it,
+3. a :class:`~repro.core.rt_model.ResponseTimeModel` converts EA to
+   response time.
+
+Two prediction paths are offered:
+
+- :meth:`predict_rows` scores held-out *profiled* rows (measured traces,
+  hidden response times) — how Figure 6/7 evaluate accuracy;
+- :meth:`predict_condition` scores *hypothetical* conditions with no
+  measurements, synthesizing nominal traces from a queueing fixed point
+  — how policy exploration works (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import as_rng
+from repro.cache.contention import SharedWayContention
+from repro.core.ea import ideal_effective_allocation
+from repro.core.ea_model import EAModel
+from repro.core.profile_vec import (
+    ProfileDataset,
+    RuntimeCondition,
+    dynamic_features,
+    static_features,
+)
+from repro.core.rt_model import QueueFeedback, ResponseTimeModel
+from repro.counters.events import N_COUNTERS, synthesize_tick
+from repro.queueing.metrics import ResponseTimeSummary
+from repro.testbed.machine import XeonSpec, default_machine
+from repro.workloads.suite import get_workload
+
+
+@dataclass
+class ConditionPrediction:
+    """Per-service outcome of one hypothetical-condition prediction.
+
+    ``X_flat``/``traces`` are the final-iteration *nominal* model inputs
+    (simulator-derived, no measurements) — exposed so competing models
+    can be evaluated on identical information.
+    """
+
+    summaries: list[ResponseTimeSummary]
+    effective_allocations: np.ndarray
+    boost_fractions: np.ndarray
+    X_flat: np.ndarray
+    traces: np.ndarray
+
+
+class StacModel:
+    """Short-Term Allocation performance model (the paper's approach)."""
+
+    def __init__(
+        self,
+        machine: XeonSpec | None = None,
+        learner: str = "deep_forest",
+        private_mb: float = 2.0,
+        shared_mb: float = 2.0,
+        trace_ticks: int = 20,
+        sampling_hz: float = 1.0,
+        n_servers: int = 2,
+        n_iterations: int = 2,
+        sim_queries: int = 4000,
+        rng=None,
+        **ea_params,
+    ):
+        if n_iterations < 1:
+            raise ValueError("n_iterations must be >= 1")
+        self.machine = machine or default_machine()
+        self.private_mb = private_mb
+        self.shared_mb = shared_mb
+        self.trace_ticks = trace_ticks
+        self.sampling_hz = sampling_hz
+        self.n_iterations = n_iterations
+        self._rng = as_rng(rng)
+        self.ea_model = EAModel(learner=learner, rng=self._rng, **ea_params)
+        self.rt_model = ResponseTimeModel(
+            n_servers=n_servers, n_queries=sim_queries, rng=self._rng
+        )
+        self._contention = SharedWayContention()
+
+    # -- training --------------------------------------------------------------
+
+    def fit(self, dataset: ProfileDataset) -> "StacModel":
+        """Stage 2 training on a Stage 1 profile dataset.
+
+        The nominal-trace synthesizer adopts the training traces' tick
+        count so hypothetical-condition inputs match the fitted MGS.
+        """
+        if len(dataset) > 0:
+            self.trace_ticks = int(dataset.traces.shape[2])
+        self.ea_model.fit(dataset)
+        return self
+
+    # -- evaluation on profiled rows ---------------------------------------------
+
+    def predict_rows(self, dataset: ProfileDataset) -> dict[str, np.ndarray]:
+        """Predict response time for profiled (held-out) rows.
+
+        Returns dict with ``ea``, ``rt_mean`` and ``rt_p95`` arrays.
+        """
+        if len(dataset) == 0:
+            raise ValueError("dataset is empty")
+        ea = self.ea_model.predict_dataset(dataset)
+        rt_mean = np.empty(len(dataset))
+        rt_p95 = np.empty(len(dataset))
+        for i, row in enumerate(dataset.rows):
+            c = row.condition
+            spec = get_workload(row.service_name)
+            summary = self.rt_model.predict_response_time(
+                utilization=c.utilizations[row.service_idx],
+                timeout=c.timeouts[row.service_idx],
+                gross_increase=self._gross_increase(len(c.workloads), row.service_idx),
+                effective_allocation=float(ea[i]),
+                service_cv=spec.service_cv,
+                mean_service_time=self._default_service_time(spec),
+            )
+            rt_mean[i] = summary.mean
+            rt_p95[i] = summary.p95
+        return {"ea": ea, "rt_mean": rt_mean, "rt_p95": rt_p95}
+
+    def _default_service_time(self, spec) -> float:
+        """Expected service time at the default (private) allocation on
+        the normalized clock — below 1.0 when the private reservation
+        exceeds the workload's baseline capacity."""
+        mb = 1024 * 1024
+        return float(
+            spec.service_time(self.private_mb * mb) / spec.baseline_service_time
+        )
+
+    def _gross_increase(self, n_services: int, idx: int) -> float:
+        """l_a'/l_a implied by the chain layout on this machine."""
+        p = self.machine.mb_to_ways(self.private_mb)
+        s = self.machine.mb_to_ways(self.shared_mb)
+        if n_services == 1:
+            return 1.0
+        sides = 2 if 0 < idx < n_services - 1 else 1
+        return (p + sides * s) / p
+
+    # -- prediction for hypothetical conditions -----------------------------------
+
+    @staticmethod
+    def _chain_neighbor(n: int, idx: int) -> int | None:
+        """The chain neighbour whose shared region ``idx`` borrows (the
+        same convention the profiler uses)."""
+        if n <= 1:
+            return None
+        return idx + 1 if idx < n - 1 else idx - 1
+
+    def _boosted_capacity(self, specs, j: int, boost_fractions) -> float:
+        """Expected LLC bytes for service ``j`` while it holds its boost,
+        accounting for each adjacent sharer boosting concurrently."""
+        mb = 1024 * 1024
+        private = self.private_mb * mb
+        shared = self.shared_mb * mb
+        n = len(specs)
+        adjacent = [k for k in (j - 1, j + 1) if 0 <= k < n]
+        cap = private
+        w_own = specs[j].fill_intensity(specs[j].baseline_capacity)
+        for k in adjacent:
+            pb = float(boost_fractions[k])
+            w_k = specs[k].fill_intensity(specs[k].baseline_capacity)
+            both = self._contention.effective_shared_ways(
+                shared, np.array([w_own, w_k])
+            )
+            cap += (1 - pb) * shared + pb * both[0]
+        return cap
+
+    def _nominal_trace(
+        self,
+        specs: list,
+        target: int,
+        utils,
+        boost_fractions: np.ndarray,
+    ) -> np.ndarray:
+        """Synthesize the expected counter trace for one service.
+
+        Emits the (own, chain-neighbour) counter blocks the profiler
+        records; boosted ticks are spread evenly through the window at
+        each service's predicted boost fraction, with capacities
+        accounting for concurrent sharers.
+        """
+        mb = 1024 * 1024
+        private = self.private_mb * mb
+        dt = 1.0 / self.sampling_hz
+        neighbor = self._chain_neighbor(len(specs), target)
+        order = [target] if neighbor is None else [target, neighbor]
+        blocks = []
+        for j in order:
+            spec = specs[j]
+            cap_boost = self._boosted_capacity(specs, j, boost_fractions)
+            bf = float(boost_fractions[j])
+            ticks = np.zeros((self.trace_ticks, N_COUNTERS))
+            # Spread boosted ticks evenly (deterministic, seed-free).
+            boosted_ticks = {
+                int(round(k * self.trace_ticks / max(1, round(bf * self.trace_ticks))))
+                for k in range(int(round(bf * self.trace_ticks)))
+            }
+            for t in range(self.trace_ticks):
+                boosted = t in boosted_ticks
+                cap = cap_boost if boosted else private
+                ticks[t] = synthesize_tick(
+                    spec,
+                    capacity_bytes=cap,
+                    busy_fraction=float(utils[j]),
+                    boost_fraction=1.0 if boosted else 0.0,
+                    dt=dt,
+                    ways_allocated=cap / self.machine.way_bytes,
+                    noise=0.0,
+                )
+            blocks.append(ticks.T)
+        return np.vstack(blocks)
+
+    def predict_condition(self, condition: RuntimeCondition) -> ConditionPrediction:
+        """Predict response time for a hypothetical runtime condition.
+
+        Runs the Stage 3 queueing simulator and Stage 2 EA model to a
+        fixed point: the simulator's queue feedback shapes the dynamic
+        features and nominal traces, whose EA predictions update the
+        simulator's boosted rate.
+        """
+        specs = [get_workload(n) for n in condition.workloads]
+        n = len(specs)
+        grosses = [self._gross_increase(n, i) for i in range(n)]
+        mb = 1024 * 1024
+        # Initial guess: no-contention first-principles EA.
+        eas = np.array(
+            [
+                ideal_effective_allocation(
+                    specs[i],
+                    self.private_mb * mb,
+                    self.shared_mb * mb,
+                    grosses[i],
+                )
+                for i in range(n)
+            ]
+        )
+        feedback: list[QueueFeedback] = [None] * n
+        for _ in range(self.n_iterations):
+            for i in range(n):
+                feedback[i] = self.rt_model.simulate(
+                    utilization=condition.utilizations[i],
+                    timeout=condition.timeouts[i],
+                    gross_increase=grosses[i],
+                    effective_allocation=float(eas[i]),
+                    service_cv=specs[i].service_cv,
+                    mean_service_time=self._default_service_time(specs[i]),
+                )
+            boost_fracs = np.array([f.boost_fraction for f in feedback])
+            X_flat, traces = [], []
+            for i in range(n):
+                # Chain-neighbour convention, matching the profiler.
+                if n > 1:
+                    partner = i + 1 if i < n - 1 else i - 1
+                else:
+                    partner = None
+                xs = static_features(
+                    specs[i],
+                    condition.timeouts[i],
+                    condition.utilizations[i],
+                    grosses[i],
+                    partner=specs[partner] if partner is not None else None,
+                    partner_timeout=(
+                        condition.timeouts[partner] if partner is not None else np.inf
+                    ),
+                    partner_util=(
+                        condition.utilizations[partner]
+                        if partner is not None
+                        else 0.0
+                    ),
+                    partner_gross=grosses[partner] if partner is not None else 1.0,
+                )
+                # Little's law: mean queue length = lambda x mean wait.
+                lam = condition.utilizations[i] * self.rt_model.n_servers
+                partner_bf = (
+                    boost_fracs[partner] if partner is not None else 0.0
+                )
+                xd = dynamic_features(
+                    mean_queue_length=lam * feedback[i].mean_wait,
+                    own_boost_fraction=boost_fracs[i],
+                    partner_boost_fraction=partner_bf,
+                    # Independence estimate of concurrent boosting.
+                    concurrent_boost_fraction=boost_fracs[i] * partner_bf,
+                )
+                X_flat.append(np.concatenate([xs, xd]))
+                traces.append(
+                    self._nominal_trace(
+                        specs, i, condition.utilizations, boost_fracs
+                    )
+                )
+            X_flat_arr, traces_arr = np.stack(X_flat), np.stack(traces)
+            eas = self.ea_model.predict(X_flat_arr, traces_arr)
+        return ConditionPrediction(
+            summaries=[f.summary for f in feedback],
+            effective_allocations=eas,
+            boost_fractions=np.array([f.boost_fraction for f in feedback]),
+            X_flat=X_flat_arr,
+            traces=traces_arr,
+        )

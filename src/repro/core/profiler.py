@@ -1,0 +1,230 @@
+"""Stage 1: profile collocated workloads under sampled runtime conditions.
+
+Each condition is executed on the testbed runtime; the run is split
+into windows, and every (service, window) yields one profile row with
+static/dynamic features, the collocated counter trace and measured
+effective cache allocation.  Conditions are independent, so profiling
+parallelizes across a process pool.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import as_rng, spawn_rngs
+from repro.counters.sampler import CounterSampler, _segment_means
+from repro.counters.trace import CacheUsageTrace
+from repro.core.profile_vec import (
+    ProfileDataset,
+    ProfileRow,
+    RuntimeCondition,
+    dynamic_features,
+    static_features,
+)
+from repro.testbed.collocation import CollocatedService, CollocationConfig
+from repro.testbed.machine import XeonSpec, default_machine
+from repro.testbed.runtime import CollocationRuntime
+from repro.workloads.suite import get_workload
+
+
+@dataclass(frozen=True)
+class ProfilerSettings:
+    """Knobs of one profiling campaign."""
+
+    n_queries: int = 800
+    n_windows: int = 4
+    trace_ticks: int = 20
+    counter_noise: float = 0.05
+    private_mb: float = 2.0
+    shared_mb: float = 2.0
+    warmup_fraction: float = 0.1
+
+
+def _boost_overlap(
+    own_segments, partner_segments, t0: float, t1: float
+) -> float:
+    """Fraction of [t0, t1) during which *both* services are boosted.
+
+    Segments are piecewise-constant state snapshots; the sweep walks
+    the merged boundary list, so the measurement is exact.
+    """
+    if t1 <= t0:
+        raise ValueError("need t1 > t0")
+
+    def boosted_at(segments, times, t):
+        idx = int(np.searchsorted(times, t, side="right")) - 1
+        return bool(segments[max(idx, 0)][4])
+
+    own_times = [s[0] for s in own_segments]
+    partner_times = [s[0] for s in partner_segments]
+    bounds = sorted(
+        {t0, t1}
+        | {t for t in own_times if t0 < t < t1}
+        | {t for t in partner_times if t0 < t < t1}
+    )
+    overlap = 0.0
+    for a, b in zip(bounds[:-1], bounds[1:]):
+        if boosted_at(own_segments, own_times, a) and boosted_at(
+            partner_segments, partner_times, a
+        ):
+            overlap += b - a
+    return overlap / (t1 - t0)
+
+
+def _profile_one_condition(args):
+    """Worker: run one condition and emit its profile rows."""
+    condition, settings, machine, seed = args
+    specs = [get_workload(n) for n in condition.workloads]
+    cfg = CollocationConfig(
+        machine=machine,
+        services=[
+            CollocatedService(spec, timeout=t, utilization=u)
+            for spec, t, u in zip(specs, condition.timeouts, condition.utilizations)
+        ],
+        private_mb=settings.private_mb,
+        shared_mb=settings.shared_mb,
+    )
+    runtime = CollocationRuntime(cfg, rng=seed)
+    run = runtime.run(
+        n_queries=settings.n_queries, warmup_fraction=settings.warmup_fraction
+    )
+    sampler = CounterSampler(
+        sampling_hz=condition.sampling_hz, noise=settings.counter_noise
+    )
+    rng = np.random.default_rng(seed + 1)
+    rows = []
+    n_svc = len(specs)
+    for i in range(n_svc):
+        own = run.services[i]
+        # The relevant partner is the chain neighbour sharing this
+        # service's shared region (the last service's neighbour is the
+        # one before it).
+        if n_svc > 1:
+            partner_idx = i + 1 if i < n_svc - 1 else i - 1
+        else:
+            partner_idx = None
+        partner = run.services[partner_idx] if partner_idx is not None else None
+        own_spec = specs[i]
+        partner_spec = specs[partner_idx] if partner_idx is not None else None
+        x_static = static_features(
+            own_spec,
+            condition.timeouts[i],
+            condition.utilizations[i],
+            own.gross_increase,
+            partner=partner_spec,
+            partner_timeout=(
+                condition.timeouts[partner_idx] if partner is not None else np.inf
+            ),
+            partner_util=(
+                condition.utilizations[partner_idx] if partner is not None else 0.0
+            ),
+            partner_gross=partner.gross_increase if partner is not None else 1.0,
+        )
+        for w, sl in enumerate(own.window_slices(settings.n_windows)):
+            wv = own.window_view(sl)
+            if wv.n_queries < 3:
+                continue
+            t0 = float(wv.arrival_times[0])
+            t1 = float(wv.completion_times.max())
+            if t1 <= t0:
+                continue
+            _, _, own_boost, own_qlen = _segment_means(own.segments, t0, t1, 1)
+            partner_boost = 0.0
+            concurrent = 0.0
+            mats = [
+                sampler.sample(own, own_spec, machine, t0, t1, rng=rng)
+            ]
+            names = [own_spec.name]
+            if partner is not None:
+                _, _, partner_boost, _ = _segment_means(
+                    partner.segments, t0, t1, 1
+                )
+                concurrent = _boost_overlap(
+                    own.segments, partner.segments, t0, t1
+                )
+                mats.append(
+                    sampler.sample(partner, partner_spec, machine, t0, t1, rng=rng)
+                )
+                names.append(partner_spec.name)
+            trace = CacheUsageTrace.from_counters(
+                mats, names, n_ticks=settings.trace_ticks
+            )
+            x_dynamic = dynamic_features(
+                mean_queue_length=own_qlen,
+                own_boost_fraction=own_boost,
+                partner_boost_fraction=partner_boost,
+                concurrent_boost_fraction=concurrent,
+            )
+            rows.append(
+                ProfileRow(
+                    condition=condition,
+                    service_idx=i,
+                    window_idx=w,
+                    x_static=x_static,
+                    x_dynamic=x_dynamic,
+                    trace=trace.data,
+                    ea=wv.effective_allocation(),
+                    rt_mean=float(wv.response_times_norm.mean()),
+                    rt_p95=float(np.percentile(wv.response_times_norm, 95)),
+                )
+            )
+    return rows
+
+
+class Profiler:
+    """Stage 1 profiling campaign driver."""
+
+    def __init__(
+        self,
+        machine: XeonSpec | None = None,
+        settings: ProfilerSettings | None = None,
+        n_jobs: int = 1,
+        rng=None,
+    ):
+        if n_jobs < 1:
+            raise ValueError("n_jobs must be >= 1")
+        self.machine = machine or default_machine()
+        self.settings = settings or ProfilerSettings()
+        self.n_jobs = n_jobs
+        self._rng = as_rng(rng)
+
+    def profile(self, conditions: list[RuntimeCondition]) -> ProfileDataset:
+        """Run every condition and collect the profile dataset."""
+        if not conditions:
+            raise ValueError("need at least one condition")
+        seeds = [
+            int(r.integers(0, 2**31)) for r in spawn_rngs(self._rng, len(conditions))
+        ]
+        jobs = [
+            (c, self.settings, self.machine, s) for c, s in zip(conditions, seeds)
+        ]
+        dataset = ProfileDataset()
+        if self.n_jobs > 1 and len(jobs) > 1:
+            with ProcessPoolExecutor(max_workers=self.n_jobs) as pool:
+                for rows in pool.map(_profile_one_condition, jobs):
+                    dataset.extend(rows)
+        else:
+            for job in jobs:
+                dataset.extend(_profile_one_condition(job))
+        return dataset
+
+    def quick_ea(self, condition: RuntimeCondition, n_queries: int = 200) -> np.ndarray:
+        """Cheap seed measurement of per-service EA (stratified sampling)."""
+        settings = ProfilerSettings(
+            n_queries=n_queries,
+            n_windows=1,
+            trace_ticks=4,
+            counter_noise=self.settings.counter_noise,
+            private_mb=self.settings.private_mb,
+            shared_mb=self.settings.shared_mb,
+        )
+        seed = int(self._rng.integers(0, 2**31))
+        rows = _profile_one_condition((condition, settings, self.machine, seed))
+        n_svc = len(condition.workloads)
+        eas = np.full(n_svc, np.nan)
+        for r in rows:
+            eas[r.service_idx] = r.ea
+        return eas

@@ -1,0 +1,120 @@
+"""Stage 3: effective cache allocation -> response time via queueing.
+
+Wraps the G/G/k STAP simulator: given a service's runtime condition and
+its (predicted) effective allocation, simulate the queue and report the
+response-time distribution plus the dynamic-condition feedback (wait
+times, boost fraction) that Stage 2 consumes in the fixed-point loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import as_rng
+from repro.queueing.ggk import StapQueueConfig, simulate_stap_queue
+from repro.queueing.metrics import ResponseTimeSummary, summarize_response_times
+from repro.workloads.arrivals import PoissonArrivals
+
+
+@dataclass(frozen=True)
+class QueueFeedback:
+    """Dynamic-condition outputs of one simulated queue."""
+
+    summary: ResponseTimeSummary
+    mean_wait: float
+    p95_wait: float
+    boost_fraction: float
+
+
+class ResponseTimeModel:
+    """First-principles response-time predictor (normalized units)."""
+
+    def __init__(
+        self,
+        n_servers: int = 2,
+        n_queries: int = 4000,
+        warmup_fraction: float = 0.1,
+        rng=None,
+    ):
+        if n_servers < 1 or n_queries < 10:
+            raise ValueError("need n_servers >= 1 and n_queries >= 10")
+        self.n_servers = n_servers
+        self.n_queries = n_queries
+        self.warmup_fraction = warmup_fraction
+        self._rng = as_rng(rng)
+        self._seed = int(self._rng.integers(0, 2**31))
+
+    def simulate(
+        self,
+        utilization: float,
+        timeout: float,
+        gross_increase: float,
+        effective_allocation: float,
+        service_cv: float = 0.35,
+        mean_service_time: float = 1.0,
+    ) -> QueueFeedback:
+        """One G/G/k run under the given condition and EA.
+
+        The boosted processing rate inverts Eq. 3: EA times the gross
+        allocation increase.  ``mean_service_time`` is the expected
+        service time at the *default* allocation on the normalized
+        clock — below 1.0 when the private reservation exceeds the
+        workload's baseline capacity.
+        """
+        if not 0 < utilization < 1:
+            raise ValueError("utilization must be in (0, 1)")
+        if effective_allocation <= 0:
+            raise ValueError("effective_allocation must be > 0")
+        if mean_service_time <= 0:
+            raise ValueError("mean_service_time must be > 0")
+        # Fixed seed: the predictor must be deterministic for a condition.
+        rng = np.random.default_rng(self._seed)
+        rate = utilization * self.n_servers / mean_service_time
+        arrivals = PoissonArrivals(rate).sample(self.n_queries, rng=rng)
+        if service_cv > 0:
+            sigma2 = np.log1p(service_cv**2)
+            demands = rng.lognormal(-0.5 * sigma2, np.sqrt(sigma2), self.n_queries)
+        else:
+            demands = np.ones(self.n_queries)
+        boost_speedup = max(effective_allocation * gross_increase, 0.1)
+        cfg = StapQueueConfig(
+            n_servers=self.n_servers,
+            mean_service_time=mean_service_time,
+            # Eq. 4 defines the warning relative to the *baseline*
+            # service time (1.0 on the normalized clock); rescale so
+            # warning_delay = timeout x 1.0 regardless of the default
+            # allocation's service time.
+            timeout=timeout / mean_service_time,
+            boost_speedup=boost_speedup,
+        )
+        res = simulate_stap_queue(arrivals, demands, cfg).drop_warmup(
+            self.warmup_fraction
+        )
+        waits = res.wait_times
+        return QueueFeedback(
+            summary=summarize_response_times(res.response_times),
+            mean_wait=float(waits.mean()),
+            p95_wait=float(np.percentile(waits, 95)),
+            boost_fraction=res.boost_fraction,
+        )
+
+    def predict_response_time(
+        self,
+        utilization: float,
+        timeout: float,
+        gross_increase: float,
+        effective_allocation: float,
+        service_cv: float = 0.35,
+        mean_service_time: float = 1.0,
+    ) -> ResponseTimeSummary:
+        """Convenience wrapper returning only the summary."""
+        return self.simulate(
+            utilization,
+            timeout,
+            gross_increase,
+            effective_allocation,
+            service_cv,
+            mean_service_time=mean_service_time,
+        ).summary

@@ -1,0 +1,21 @@
+"""Synthetic architectural performance counters.
+
+Substitutes for the Linux perf counters the paper samples (Section 4):
+29 cache-usage counters per service, sampled 0.2-1 Hz, derived causally
+from the simulated cache state so the deep-learning stage has real
+signal to find.
+"""
+
+from repro.counters.events import COUNTER_NAMES, N_COUNTERS, synthesize_tick
+from repro.counters.sampler import CounterSampler, sample_service_counters
+from repro.counters.trace import CacheUsageTrace, order_counters
+
+__all__ = [
+    "COUNTER_NAMES",
+    "N_COUNTERS",
+    "synthesize_tick",
+    "CounterSampler",
+    "sample_service_counters",
+    "CacheUsageTrace",
+    "order_counters",
+]

@@ -1,0 +1,178 @@
+"""The 29 cache-related architectural counters and their synthesis.
+
+Counter values for one sampling tick are derived from the workload's
+miss-ratio curve at the instantaneous effective LLC capacity, its access
+intensity, and the fraction of the tick it was busy/boosted, with
+multiplicative measurement noise.  The derivation keeps counters
+*causally* tied to effective cache allocation — the signal multi-grained
+scanning must extract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_rng
+from repro.workloads.base import WorkloadSpec
+
+#: Counter names grouped by type (the "spatial" ordering of Figure 7c).
+COUNTER_NAMES: tuple[str, ...] = (
+    # L1 data cache
+    "l1d_loads",
+    "l1d_load_misses",
+    "l1d_stores",
+    "l1d_store_misses",
+    # L1 instruction cache
+    "l1i_loads",
+    "l1i_load_misses",
+    # L2
+    "l2_requests",
+    "l2_loads",
+    "l2_load_misses",
+    "l2_stores",
+    "l2_store_misses",
+    "l2_prefetches",
+    "l2_prefetch_misses",
+    # LLC
+    "llc_references",
+    "llc_loads",
+    "llc_load_misses",
+    "llc_stores",
+    "llc_store_misses",
+    "llc_evictions",
+    "llc_occupancy_bytes",
+    "llc_ways_allocated",
+    # memory / pipeline
+    "mem_bandwidth_bytes",
+    "dtlb_load_misses",
+    "dtlb_store_misses",
+    "instructions",
+    "cycles",
+    "stalled_cycles_mem",
+    "offcore_requests",
+    "boost_active",
+)
+
+N_COUNTERS = len(COUNTER_NAMES)
+assert N_COUNTERS == 29, "the paper samples 29 cache-usage counters"
+
+#: Fixed per-level filtering ratios by access-stream kind: what fraction
+#: of accesses miss L1, and of those, what fraction miss L2.
+_LEVEL_RATIOS = {
+    "loop": (0.04, 0.30),
+    "zipf": (0.12, 0.45),
+    "strided": (0.20, 0.55),
+    "sequential": (0.35, 0.80),
+}
+
+_LINE = 64
+
+
+def synthesize_tick(
+    spec: WorkloadSpec,
+    capacity_bytes: float,
+    busy_fraction: float,
+    boost_fraction: float,
+    dt: float,
+    ways_allocated: float,
+    rng=None,
+    noise: float = 0.05,
+) -> np.ndarray:
+    """Counter vector for one sampling interval of length ``dt`` seconds.
+
+    Parameters
+    ----------
+    spec:
+        The workload whose counters are sampled.
+    capacity_bytes:
+        Mean effective LLC capacity during the tick.
+    busy_fraction:
+        Fraction of the tick with at least one query in service.
+    boost_fraction:
+        Fraction of the tick the service held short-term allocation.
+    ways_allocated:
+        Mean number of LLC ways enabled.
+    noise:
+        Relative std-dev of multiplicative measurement noise.
+    """
+    if dt <= 0:
+        raise ValueError("dt must be > 0")
+    if not 0 <= busy_fraction <= 1 or not 0 <= boost_fraction <= 1:
+        raise ValueError("fractions must be in [0, 1]")
+    rng = as_rng(rng)
+
+    l1_mr, l2_mr = _LEVEL_RATIOS[spec.stream_kind]
+    accesses = spec.access_intensity * dt * busy_fraction
+    stores = accesses * spec.store_fraction
+    loads = accesses - stores
+
+    l1d_load_miss = loads * l1_mr
+    l1d_store_miss = stores * l1_mr
+    l1i_loads = accesses * 0.4
+    l1i_miss = l1i_loads * 0.01
+
+    l2_req = l1d_load_miss + l1d_store_miss + l1i_miss
+    l2_loads = l1d_load_miss + l1i_miss
+    l2_load_miss = l2_loads * l2_mr
+    l2_stores = l1d_store_miss
+    l2_store_miss = l2_stores * l2_mr
+    l2_pref = l2_req * 0.15
+    l2_pref_miss = l2_pref * l2_mr
+
+    llc_mr = float(spec.mrc.miss_ratio(capacity_bytes)) if capacity_bytes > 0 else 1.0
+    llc_refs = l2_load_miss + l2_store_miss + l2_pref_miss
+    llc_loads = l2_load_miss
+    llc_load_miss = llc_loads * llc_mr
+    llc_stores = l2_store_miss
+    llc_store_miss = llc_stores * llc_mr
+    llc_evict = (llc_load_miss + llc_store_miss) * 0.9
+    llc_occ = min(capacity_bytes, spec.mrc.footprint_bytes) * busy_fraction
+
+    mem_bw = (llc_load_miss + llc_store_miss) * _LINE
+    dtlb_l = loads * 0.002
+    dtlb_s = stores * 0.002
+    instructions = accesses * 4.0
+    # Cycles grow with memory stalls: more LLC misses -> more stall cycles.
+    m_base = float(spec.mrc.miss_ratio(spec.baseline_capacity))
+    stall_scale = llc_mr / m_base if m_base > 0 else 1.0
+    base_cycles = instructions / 1.5
+    stalled = base_cycles * spec.memory_boundedness * stall_scale
+    cycles = base_cycles * (1 - spec.memory_boundedness) + stalled
+    offcore = llc_refs * 1.05
+
+    raw = np.array(
+        [
+            loads,
+            l1d_load_miss,
+            stores,
+            l1d_store_miss,
+            l1i_loads,
+            l1i_miss,
+            l2_req,
+            l2_loads,
+            l2_load_miss,
+            l2_stores,
+            l2_store_miss,
+            l2_pref,
+            l2_pref_miss,
+            llc_refs,
+            llc_loads,
+            llc_load_miss,
+            llc_stores,
+            llc_store_miss,
+            llc_evict,
+            llc_occ,
+            ways_allocated,
+            mem_bw,
+            dtlb_l,
+            dtlb_s,
+            instructions,
+            cycles,
+            stalled,
+            offcore,
+            boost_fraction,
+        ]
+    )
+    if noise > 0:
+        raw = raw * rng.normal(1.0, noise, size=raw.shape)
+    return np.maximum(raw, 0.0)

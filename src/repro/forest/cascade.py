@@ -1,0 +1,195 @@
+"""Cascade levels: the deep-learning half of the deep forest.
+
+Each cascade level hosts an ensemble of forests (the paper: 4 per
+level, alternating random and completely-random for diversity).  A
+forest's out-of-fold predictions become *concept features* appended to
+the input of the next level — layer-by-layer training with no back
+propagation, which is why deep forests are stable where CNNs are not
+(Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import as_rng, spawn_rngs
+from repro.forest.ensemble import (
+    CompletelyRandomForestRegressor,
+    RandomForestRegressor,
+)
+
+
+def cross_fit_predict(make_model, X, y, k: int = 3, rng=None) -> np.ndarray:
+    """Out-of-fold predictions from k-fold cross-fitting.
+
+    Each sample's concept value comes from a model that never saw it,
+    so cascade features do not leak the training target.
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float)
+    n = X.shape[0]
+    if k < 2:
+        raise ValueError("k must be >= 2")
+    if n < k:
+        raise ValueError(f"need at least k={k} samples, got {n}")
+    rng = as_rng(rng)
+    perm = rng.permutation(n)
+    folds = np.array_split(perm, k)
+    out = np.empty(n)
+    for fold in folds:
+        mask = np.ones(n, dtype=bool)
+        mask[fold] = False
+        model = make_model()
+        model.fit(X[mask], y[mask])
+        out[fold] = model.predict(X[fold])
+    return out
+
+
+@dataclass
+class _Level:
+    forests: list
+    n_input_features: int
+
+
+@dataclass
+class CascadeForest:
+    """Stacked cascade levels ending in an averaged output ensemble.
+
+    Parameters
+    ----------
+    n_levels:
+        Cascade depth (paper: 4).
+    forests_per_level:
+        Forests per level (paper: 4), alternating random /
+        completely-random.
+    n_estimators:
+        Trees per forest (paper: 100).
+    k_folds:
+        Cross-fitting folds for concept features.
+    """
+
+    n_levels: int = 4
+    forests_per_level: int = 4
+    n_estimators: int = 100
+    max_depth: int | None = None
+    min_samples_leaf: int = 2
+    k_folds: int = 3
+    #: gcForest-style early stopping: stop adding levels once the
+    #: out-of-fold error of the level's concept average stops improving.
+    early_stop: bool = False
+    patience: int = 1
+    rng: object = None
+    _levels: list[_Level] = field(default_factory=list, init=False)
+    _output_forests: list = field(default_factory=list, init=False)
+    _n_raw_features: int = field(default=0, init=False)
+    #: Out-of-fold MSE per grown level (diagnostic; filled by fit).
+    level_scores_: list[float] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        if self.n_levels < 1 or self.forests_per_level < 1:
+            raise ValueError("n_levels and forests_per_level must be >= 1")
+        if self.patience < 1:
+            raise ValueError("patience must be >= 1")
+        self._rng = as_rng(self.rng)
+
+    def _make_forest(self, j: int, rng):
+        cls = (
+            RandomForestRegressor
+            if j % 2 == 0
+            else CompletelyRandomForestRegressor
+        )
+        return cls(
+            n_estimators=self.n_estimators,
+            max_depth=self.max_depth,
+            min_samples_leaf=self.min_samples_leaf,
+            rng=rng,
+        )
+
+    def fit(self, X, y) -> "CascadeForest":
+        X = np.ascontiguousarray(X, dtype=float)
+        y = np.ascontiguousarray(y, dtype=float)
+        if X.ndim != 2 or X.shape[0] != y.shape[0]:
+            raise ValueError(f"bad shapes: X {X.shape}, y {y.shape}")
+        self._n_raw_features = X.shape[1]
+        self._levels = []
+        self.level_scores_ = []
+        current = X
+        n_rngs = self.n_levels * self.forests_per_level * 2 + self.forests_per_level
+        rngs = iter(spawn_rngs(self._rng, n_rngs))
+        best_score = np.inf
+        stale = 0
+        for _ in range(self.n_levels):
+            forests = []
+            concepts = np.empty((X.shape[0], self.forests_per_level))
+            for j in range(self.forests_per_level):
+                fold_rng = next(rngs)
+                fit_rng = next(rngs)
+                concepts[:, j] = cross_fit_predict(
+                    lambda j=j, r=fit_rng: self._make_forest(j, r),
+                    current,
+                    y,
+                    k=self.k_folds,
+                    rng=fold_rng,
+                )
+                # Refit on the full data for inference-time transforms.
+                forest = self._make_forest(j, fit_rng)
+                forest.fit(current, y)
+                forests.append(forest)
+            self._levels.append(
+                _Level(forests=forests, n_input_features=current.shape[1])
+            )
+            current = np.concatenate([current, concepts], axis=1)
+            # Level quality: out-of-fold error of the concept average.
+            score = float(np.mean((concepts.mean(axis=1) - y) ** 2))
+            self.level_scores_.append(score)
+            if self.early_stop:
+                if score < best_score - 1e-12:
+                    best_score = score
+                    stale = 0
+                else:
+                    stale += 1
+                    if stale >= self.patience:
+                        break
+        # Final output ensemble averages forests_per_level forests.
+        self._output_forests = []
+        for j in range(self.forests_per_level):
+            forest = self._make_forest(j, next(rngs))
+            forest.fit(current, y)
+            self._output_forests.append(forest)
+        return self
+
+    def _propagate(self, X) -> np.ndarray:
+        current = np.ascontiguousarray(X, dtype=float)
+        for level in self._levels:
+            if current.shape[1] != level.n_input_features:
+                raise ValueError(
+                    f"expected {level.n_input_features} features, got "
+                    f"{current.shape[1]}"
+                )
+            concepts = np.stack(
+                [f.predict(current) for f in level.forests], axis=1
+            )
+            current = np.concatenate([current, concepts], axis=1)
+        return current
+
+    def predict(self, X) -> np.ndarray:
+        if not self._output_forests:
+            raise RuntimeError("cascade is not fitted")
+        current = self._propagate(X)
+        out = np.zeros(current.shape[0])
+        for f in self._output_forests:
+            out += f.predict(current)
+        return out / len(self._output_forests)
+
+    def concept_features(self, X) -> np.ndarray:
+        """The concept columns appended across all levels.
+
+        These are the learned groupings Section 5 clusters to gain
+        system insight (and the "queueing + concepts" Figure 6 variant).
+        """
+        if not self._levels:
+            raise RuntimeError("cascade is not fitted")
+        full = self._propagate(X)
+        return full[:, self._n_raw_features :]

@@ -1,0 +1,19 @@
+"""Online short-term-allocation management.
+
+The paper's conclusion positions the trained model as a direct manager:
+"Given 30 minutes to profile workloads, our approach can be used
+directly to manage short-term allocation."  This package provides that
+deployment layer: an epoch-based online manager that re-plans timeout
+vectors as offered load drifts, using the trained
+:class:`~repro.core.pipeline.StacModel` for each re-plan.
+"""
+
+from repro.manager.controller import AdaptiveTimeoutController
+from repro.manager.online import EpochResult, LoadScenario, OnlineManager
+
+__all__ = [
+    "AdaptiveTimeoutController",
+    "EpochResult",
+    "LoadScenario",
+    "OnlineManager",
+]

@@ -1,0 +1,75 @@
+"""Model-driven timeout controller with plan caching.
+
+Wraps :func:`repro.core.policy_search.model_driven_policy` for online
+use: plans are cached per quantized utilization vector so repeated
+epochs at similar load reuse the grid exploration instead of re-running
+25 queueing simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.policies import PolicyDecision
+from repro.core.pipeline import StacModel
+from repro.core.policy_search import DEFAULT_TIMEOUT_GRID, model_driven_policy
+
+
+@dataclass
+class AdaptiveTimeoutController:
+    """Recommend timeout vectors for observed utilizations.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`StacModel`.
+    workloads:
+        Names of the collocated services, in chain order.
+    timeout_grid:
+        Candidate timeouts explored per service.
+    utilization_quantum:
+        Cache key resolution: utilizations are rounded to this quantum,
+        bounding both cache size and plan churn.
+    """
+
+    model: StacModel
+    workloads: tuple
+    timeout_grid: tuple = DEFAULT_TIMEOUT_GRID
+    utilization_quantum: float = 0.05
+    statistic: str = "p95"
+    _plans: dict = field(default_factory=dict, init=False)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.utilization_quantum <= 0.5:
+            raise ValueError("utilization_quantum must be in (0, 0.5]")
+        if len(self.workloads) < 1:
+            raise ValueError("need at least one workload")
+
+    def _key(self, utilizations) -> tuple:
+        q = self.utilization_quantum
+        return tuple(
+            float(np.clip(np.round(u / q) * q, 0.05, 0.95)) for u in utilizations
+        )
+
+    def recommend(self, utilizations) -> PolicyDecision:
+        """A timeout vector for the given per-service utilizations."""
+        if len(utilizations) != len(self.workloads):
+            raise ValueError("need one utilization per workload")
+        key = self._key(utilizations)
+        if key not in self._plans:
+            self._plans[key] = model_driven_policy(
+                self.model,
+                tuple(self.workloads),
+                key,
+                timeout_grid=self.timeout_grid,
+                statistic=self.statistic,
+                name="adaptive",
+            )
+        return self._plans[key]
+
+    @property
+    def plans_computed(self) -> int:
+        """How many distinct plans the controller has built (cache size)."""
+        return len(self._plans)

@@ -1,0 +1,158 @@
+"""Epoch-based online management over drifting load.
+
+A :class:`LoadScenario` describes how each service's offered load
+evolves across epochs (e.g. a diurnal ramp).  The :class:`OnlineManager`
+runs the collocation epoch by epoch on the ground-truth testbed; in
+adaptive mode it re-plans the timeout vector before every epoch from the
+current utilizations, in static mode it keeps the plan chosen for the
+first epoch — the contrast that shows why dynaSprint-style one-shot
+calibration degrades as load moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import as_rng
+from repro.manager.controller import AdaptiveTimeoutController
+from repro.queueing.metrics import ResponseTimeSummary, summarize_response_times
+from repro.testbed.collocation import CollocatedService, CollocationConfig
+from repro.testbed.machine import XeonSpec, default_machine
+from repro.testbed.runtime import CollocationRuntime
+from repro.workloads.suite import get_workload
+
+
+@dataclass(frozen=True)
+class LoadScenario:
+    """Per-epoch utilization vectors (one entry per collocated service)."""
+
+    epochs: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.epochs) == 0:
+            raise ValueError("scenario needs at least one epoch")
+        width = len(self.epochs[0])
+        for e in self.epochs:
+            if len(e) != width:
+                raise ValueError("all epochs must cover the same services")
+            if any(not 0 < u < 1 for u in e):
+                raise ValueError("utilizations must be in (0, 1)")
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self.epochs)
+
+    @property
+    def n_services(self) -> int:
+        return len(self.epochs[0])
+
+    @classmethod
+    def ramp(
+        cls, n_services: int, start: float, end: float, n_epochs: int
+    ) -> "LoadScenario":
+        """Linear load ramp applied to every service."""
+        if n_epochs < 1:
+            raise ValueError("n_epochs must be >= 1")
+        levels = np.linspace(start, end, n_epochs)
+        return cls(tuple(tuple([float(u)] * n_services) for u in levels))
+
+    @classmethod
+    def diurnal(
+        cls, n_services: int, low: float, high: float, n_epochs: int
+    ) -> "LoadScenario":
+        """Half-sine day/night pattern between ``low`` and ``high``."""
+        if n_epochs < 1:
+            raise ValueError("n_epochs must be >= 1")
+        phase = np.sin(np.linspace(0, np.pi, n_epochs))
+        levels = low + (high - low) * phase
+        return cls(tuple(tuple([float(u)] * n_services) for u in levels))
+
+
+@dataclass(frozen=True)
+class EpochResult:
+    """Outcome of one managed epoch."""
+
+    epoch: int
+    utilizations: tuple
+    timeouts: tuple
+    summaries: tuple  # per-service ResponseTimeSummary (normalized)
+
+    @property
+    def p95(self) -> np.ndarray:
+        return np.array([s.p95 for s in self.summaries])
+
+    @property
+    def mean(self) -> np.ndarray:
+        return np.array([s.mean for s in self.summaries])
+
+
+class OnlineManager:
+    """Run a managed collocation across a load scenario."""
+
+    def __init__(
+        self,
+        controller: AdaptiveTimeoutController,
+        machine: XeonSpec | None = None,
+        n_queries: int = 1200,
+        private_mb: float = 2.0,
+        shared_mb: float = 2.0,
+        rng=None,
+    ):
+        if n_queries < 10:
+            raise ValueError("n_queries must be >= 10")
+        self.controller = controller
+        self.machine = machine or default_machine()
+        self.n_queries = n_queries
+        self.private_mb = private_mb
+        self.shared_mb = shared_mb
+        self._rng = as_rng(rng)
+
+    def _run_epoch(
+        self, epoch: int, utilizations, timeouts, seed: int
+    ) -> EpochResult:
+        cfg = CollocationConfig(
+            machine=self.machine,
+            services=[
+                CollocatedService(get_workload(name), timeout=t, utilization=u)
+                for name, t, u in zip(
+                    self.controller.workloads, timeouts, utilizations
+                )
+            ],
+            private_mb=self.private_mb,
+            shared_mb=self.shared_mb,
+        )
+        run = CollocationRuntime(cfg, rng=seed).run(n_queries=self.n_queries)
+        summaries = tuple(
+            summarize_response_times(s.response_times_norm) for s in run.services
+        )
+        return EpochResult(
+            epoch=epoch,
+            utilizations=tuple(utilizations),
+            timeouts=tuple(timeouts),
+            summaries=summaries,
+        )
+
+    def run(self, scenario: LoadScenario, adapt: bool = True) -> list[EpochResult]:
+        """Manage the collocation across the scenario.
+
+        ``adapt=True`` re-plans timeouts each epoch from that epoch's
+        utilizations; ``adapt=False`` plans once for epoch 0 and keeps
+        the vector (one-shot calibration).
+        """
+        if scenario.n_services != len(self.controller.workloads):
+            raise ValueError(
+                "scenario width does not match the controller's workloads"
+            )
+        seeds = self._rng.integers(0, 2**31, size=scenario.n_epochs)
+        results = []
+        static_plan = None
+        for i, utils in enumerate(scenario.epochs):
+            if adapt or static_plan is None:
+                plan = self.controller.recommend(utils)
+                if static_plan is None:
+                    static_plan = plan
+            timeouts = plan.timeouts if adapt else static_plan.timeouts
+            results.append(self._run_epoch(i, utils, timeouts, int(seeds[i])))
+        return results

@@ -1,0 +1,140 @@
+"""Service/inter-arrival time distributions for the G/G/k simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import as_rng
+from repro._util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class Deterministic:
+    """Constant value."""
+
+    value: float
+
+    def __post_init__(self) -> None:
+        check_positive("value", self.value)
+
+    def mean(self) -> float:
+        return self.value
+
+    def cv(self) -> float:
+        return 0.0
+
+    def sample(self, n: int, rng=None) -> np.ndarray:
+        return np.full(n, self.value)
+
+
+@dataclass(frozen=True)
+class Exponential:
+    """Exponential with the given mean (M in Kendall notation)."""
+
+    mean_value: float
+
+    def __post_init__(self) -> None:
+        check_positive("mean_value", self.mean_value)
+
+    def mean(self) -> float:
+        return self.mean_value
+
+    def cv(self) -> float:
+        return 1.0
+
+    def sample(self, n: int, rng=None) -> np.ndarray:
+        return as_rng(rng).exponential(self.mean_value, size=n)
+
+
+@dataclass(frozen=True)
+class LogNormal:
+    """Lognormal parameterized by mean and coefficient of variation."""
+
+    mean_value: float
+    cv_value: float
+
+    def __post_init__(self) -> None:
+        check_positive("mean_value", self.mean_value)
+        if self.cv_value <= 0:
+            raise ValueError(f"cv_value must be > 0, got {self.cv_value}")
+
+    def mean(self) -> float:
+        return self.mean_value
+
+    def cv(self) -> float:
+        return self.cv_value
+
+    def sample(self, n: int, rng=None) -> np.ndarray:
+        sigma2 = np.log1p(self.cv_value**2)
+        mu = np.log(self.mean_value) - 0.5 * sigma2
+        return as_rng(rng).lognormal(mu, np.sqrt(sigma2), size=n)
+
+
+@dataclass(frozen=True)
+class Hyperexponential:
+    """Two-phase hyperexponential (bursty services, CV > 1).
+
+    With probability ``p`` a sample is drawn from an exponential of mean
+    ``mean_short``, else from one of mean ``mean_long``.
+    """
+
+    p: float
+    mean_short: float
+    mean_long: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.p < 1:
+            raise ValueError(f"p must be in (0, 1), got {self.p}")
+        check_positive("mean_short", self.mean_short)
+        check_positive("mean_long", self.mean_long)
+
+    def mean(self) -> float:
+        return self.p * self.mean_short + (1 - self.p) * self.mean_long
+
+    def cv(self) -> float:
+        m = self.mean()
+        second = 2 * (
+            self.p * self.mean_short**2 + (1 - self.p) * self.mean_long**2
+        )
+        return float(np.sqrt(second - m**2) / m)
+
+    def sample(self, n: int, rng=None) -> np.ndarray:
+        rng = as_rng(rng)
+        short = rng.random(n) < self.p
+        out = np.where(
+            short,
+            rng.exponential(self.mean_short, size=n),
+            rng.exponential(self.mean_long, size=n),
+        )
+        return out
+
+
+@dataclass(frozen=True)
+class Empirical:
+    """Resample from observed values (e.g. Social DAG latencies)."""
+
+    values: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.values) == 0:
+            raise ValueError("values must be non-empty")
+        if any(v <= 0 for v in self.values):
+            raise ValueError("values must be positive")
+
+    @classmethod
+    def from_array(cls, arr) -> "Empirical":
+        return cls(tuple(float(x) for x in np.asarray(arr).ravel()))
+
+    def mean(self) -> float:
+        return float(np.mean(self.values))
+
+    def cv(self) -> float:
+        v = np.asarray(self.values)
+        return float(v.std() / v.mean())
+
+    def sample(self, n: int, rng=None) -> np.ndarray:
+        rng = as_rng(rng)
+        idx = rng.integers(0, len(self.values), size=n)
+        return np.asarray(self.values)[idx]

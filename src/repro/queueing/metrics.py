@@ -1,0 +1,55 @@
+"""Response-time statistics and model-error metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ResponseTimeSummary:
+    """The statistics the paper reports: mean, median, p95 (and p99)."""
+
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    n: int
+
+    def speedup_over(self, other: "ResponseTimeSummary") -> dict[str, float]:
+        """Per-statistic speedup of *this* summary relative to ``other``
+        (values > 1 mean this one is faster)."""
+        return {
+            "mean": other.mean / self.mean,
+            "p50": other.p50 / self.p50,
+            "p95": other.p95 / self.p95,
+            "p99": other.p99 / self.p99,
+        }
+
+
+def summarize_response_times(response_times) -> ResponseTimeSummary:
+    """Summarize a vector of response times."""
+    rt = np.asarray(response_times, dtype=float)
+    if rt.size == 0:
+        raise ValueError("response_times is empty")
+    if np.any(rt < 0):
+        raise ValueError("response times must be non-negative")
+    return ResponseTimeSummary(
+        mean=float(rt.mean()),
+        p50=float(np.percentile(rt, 50)),
+        p95=float(np.percentile(rt, 95)),
+        p99=float(np.percentile(rt, 99)),
+        n=int(rt.size),
+    )
+
+
+def absolute_percentage_error(predicted, actual) -> np.ndarray:
+    """|predicted - actual| / actual, elementwise (the paper's accuracy metric)."""
+    pred = np.asarray(predicted, dtype=float)
+    act = np.asarray(actual, dtype=float)
+    if pred.shape != act.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {act.shape}")
+    if np.any(act <= 0):
+        raise ValueError("actual values must be positive")
+    return np.abs(pred - act) / act

@@ -1,0 +1,65 @@
+"""Workload substrate: synthetic analogues of the Table 1 benchmarks.
+
+Each workload is described by a miss-ratio curve, a memory-boundedness
+factor, and a service-time distribution; together these determine how
+response time reacts to cache allocation — the behaviour the paper's
+models must learn.
+"""
+
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.suite import (
+    WORKLOADS,
+    get_workload,
+    all_workloads,
+    workload_pairs,
+    table1_rows,
+)
+from repro.workloads.social import SocialGraph, build_social_workload
+from repro.workloads.mix import (
+    QueryClass,
+    QueryMix,
+    YCSB_SESSION_MIX,
+    SPARK_TASK_MIX,
+    SOCIAL_REQUEST_MIX,
+)
+from repro.workloads.access import (
+    zipf_stream,
+    sequential_stream,
+    strided_stream,
+    loop_stream,
+    workload_stream,
+)
+from repro.workloads.arrivals import (
+    PoissonArrivals,
+    DeterministicArrivals,
+    MarkovModulatedArrivals,
+    arrivals_for_utilization,
+)
+from repro.workloads.replay import ArrivalTrace, replay_through_queue
+
+__all__ = [
+    "WorkloadSpec",
+    "WORKLOADS",
+    "get_workload",
+    "all_workloads",
+    "workload_pairs",
+    "table1_rows",
+    "SocialGraph",
+    "build_social_workload",
+    "QueryClass",
+    "QueryMix",
+    "YCSB_SESSION_MIX",
+    "SPARK_TASK_MIX",
+    "SOCIAL_REQUEST_MIX",
+    "zipf_stream",
+    "sequential_stream",
+    "strided_stream",
+    "loop_stream",
+    "workload_stream",
+    "PoissonArrivals",
+    "DeterministicArrivals",
+    "MarkovModulatedArrivals",
+    "arrivals_for_utilization",
+    "ArrivalTrace",
+    "replay_through_queue",
+]

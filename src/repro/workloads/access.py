@@ -1,0 +1,83 @@
+"""Synthetic memory access stream generators.
+
+These streams feed the set-associative simulator (for MRC measurement)
+and the counter synthesizer.  Each generator produces byte addresses
+whose reuse structure matches a Table 1 cache access pattern.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_rng
+
+LINE = 64
+
+
+def zipf_stream(n: int, n_lines: int, skew: float = 1.2, rng=None) -> np.ndarray:
+    """Zipf-distributed line popularity: moderate data reuse with a hot set.
+
+    ``skew`` > 1 concentrates accesses on few lines (higher reuse).
+    """
+    if n_lines <= 0:
+        raise ValueError("n_lines must be > 0")
+    rng = as_rng(rng)
+    ranks = rng.zipf(skew, size=n)
+    lines = (ranks - 1) % n_lines
+    return lines.astype(np.int64) * LINE
+
+
+def sequential_stream(n: int, n_lines: int, rng=None) -> np.ndarray:
+    """Streaming access: each line touched once in order (no reuse).
+
+    Models I/O-intensive workloads like Spark windowed word count.
+    """
+    if n_lines <= 0:
+        raise ValueError("n_lines must be > 0")
+    lines = np.arange(n, dtype=np.int64) % n_lines
+    return lines * LINE
+
+
+def strided_stream(n: int, n_lines: int, stride: int = 8, rng=None) -> np.ndarray:
+    """Strided sweep (Jacobi-style stencil): moderate reuse across sweeps."""
+    if n_lines <= 0 or stride <= 0:
+        raise ValueError("n_lines and stride must be > 0")
+    idx = (np.arange(n, dtype=np.int64) * stride) % n_lines
+    return idx * LINE
+
+
+def loop_stream(n: int, n_lines: int, hot_fraction: float = 0.1, rng=None) -> np.ndarray:
+    """Tight loop over a small hot set with occasional cold accesses.
+
+    Models high-data-reuse kernels (KNN, Kmeans).
+    """
+    if not 0 < hot_fraction <= 1:
+        raise ValueError("hot_fraction must be in (0, 1]")
+    rng = as_rng(rng)
+    hot_lines = max(1, int(n_lines * hot_fraction))
+    is_hot = rng.random(n) < 0.9
+    lines = np.where(
+        is_hot,
+        rng.integers(0, hot_lines, size=n),
+        rng.integers(0, n_lines, size=n),
+    )
+    return lines.astype(np.int64) * LINE
+
+
+_GENERATORS = {
+    "zipf": zipf_stream,
+    "sequential": sequential_stream,
+    "strided": strided_stream,
+    "loop": loop_stream,
+}
+
+
+def workload_stream(kind: str, n: int, n_lines: int, rng=None) -> np.ndarray:
+    """Dispatch to the generator named ``kind``."""
+    try:
+        gen = _GENERATORS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown stream kind {kind!r}; choose from {sorted(_GENERATORS)}"
+        ) from None
+    return gen(n, n_lines, rng=rng)

@@ -1,0 +1,113 @@
+"""Calibrate workload miss-ratio curves against the cache substrate.
+
+Table 1's qualitative cache access patterns are encoded twice in this
+repository: as analytic MRC parameters on each :class:`WorkloadSpec`
+and as synthetic access-stream generators.  This module closes the
+loop: it *measures* a workload's MRC by running its stream through the
+set-associative simulator, fits the exponential form, and can return a
+spec recalibrated to the measurement — the workflow the paper's offline
+profiling stage performs against real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro._util import as_rng
+from repro.cache.geometry import CacheGeometry
+from repro.cache.mrc import MissRatioCurve, fit_exponential_mrc, measure_mrc
+from repro.workloads.access import workload_stream
+from repro.workloads.base import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Outcome of measuring one workload's MRC on the simulator."""
+
+    workload: str
+    capacities: np.ndarray
+    measured_miss_ratios: np.ndarray
+    fitted: MissRatioCurve
+    declared: MissRatioCurve
+
+    def max_fit_residual(self) -> float:
+        """Worst |fit - measurement| over the measured capacities."""
+        fit_vals = self.fitted.miss_ratio(self.capacities)
+        return float(np.abs(fit_vals - self.measured_miss_ratios).max())
+
+    def shape_agreement(self) -> float:
+        """Correlation between declared and fitted curves over the
+        measured capacity range (1.0 = identical shape)."""
+        grid = np.linspace(
+            self.capacities.min(), self.capacities.max(), 32
+        )
+        a = np.asarray(self.declared.miss_ratio(grid))
+        b = np.asarray(self.fitted.miss_ratio(grid))
+        if a.std() == 0 or b.std() == 0:
+            return 1.0 if np.allclose(a, b, atol=0.05) else 0.0
+        return float(np.corrcoef(a, b)[0, 1])
+
+
+def calibrate_workload(
+    spec: WorkloadSpec,
+    geometry: CacheGeometry | None = None,
+    n_accesses: int = 20000,
+    footprint_lines: int | None = None,
+    rng=None,
+) -> CalibrationReport:
+    """Measure and fit a workload's MRC from its synthetic stream.
+
+    Parameters
+    ----------
+    spec:
+        The workload whose ``stream_kind`` drives the measurement.
+    geometry:
+        Cache geometry to sweep (defaults to a 16-way scaled-down LLC).
+    footprint_lines:
+        Working-set size of the generated stream; defaults to four times
+        the cache capacity so the sweep spans the interesting region.
+    """
+    rng = as_rng(rng)
+    geometry = geometry or CacheGeometry(n_sets=64, n_ways=16)
+    total_lines = geometry.n_sets * geometry.n_ways
+    n_lines = footprint_lines or 4 * total_lines
+    stream = workload_stream(spec.stream_kind, n_accesses, n_lines, rng=rng)
+    way_counts = sorted({1, 2, 4, geometry.n_ways // 2, geometry.n_ways})
+    caps, ratios = measure_mrc(stream, geometry, way_counts=way_counts)
+    fitted = fit_exponential_mrc(caps, ratios)
+    return CalibrationReport(
+        workload=spec.name,
+        capacities=caps,
+        measured_miss_ratios=ratios,
+        fitted=fitted,
+        declared=spec.mrc,
+    )
+
+
+def recalibrated_spec(
+    spec: WorkloadSpec, report: CalibrationReport, scale_to: float
+) -> WorkloadSpec:
+    """A copy of ``spec`` whose MRC uses the measured *shape*, rescaled
+    so its footprint matches ``scale_to`` bytes (measurements run on a
+    scaled-down cache; real footprints are scaled back up)."""
+    if scale_to <= 0:
+        raise ValueError("scale_to must be > 0")
+    measured_span = report.capacities.max()
+    factor = scale_to / measured_span
+    fitted = report.fitted
+    rescaled = MissRatioCurve(
+        m0=fitted.m0,
+        m_inf=fitted.m_inf,
+        footprint_bytes=fitted.footprint_bytes * factor,
+    )
+    return replace(spec, mrc=rescaled)
+
+
+def calibrate_suite(specs, rng=None) -> dict[str, CalibrationReport]:
+    """Calibrate several workloads with independent streams."""
+    rng = as_rng(rng)
+    return {
+        spec.name: calibrate_workload(spec, rng=rng) for spec in specs
+    }

@@ -1,0 +1,121 @@
+"""Query mixes: heterogeneous query classes within one service.
+
+Table 2 lists "query mix" among the static runtime conditions a
+profiling run controls.  A mix is a weighted set of query classes with
+distinct service demands (e.g. YCSB reads vs writes, Spark short vs
+long tasks); overall demands remain normalized to mean 1 so arrival
+rates stay comparable across mixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import as_rng
+from repro._util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class QueryClass:
+    """One class of queries inside a mix.
+
+    ``demand_scale`` is the class's mean demand relative to the other
+    classes (the mix normalizes the overall mean to 1); ``cv`` is the
+    class's internal lognormal coefficient of variation.
+    """
+
+    name: str
+    weight: float
+    demand_scale: float
+    cv: float = 0.25
+
+    def __post_init__(self) -> None:
+        check_positive("weight", self.weight)
+        check_positive("demand_scale", self.demand_scale)
+        if self.cv < 0:
+            raise ValueError("cv must be >= 0")
+
+
+@dataclass(frozen=True)
+class QueryMix:
+    """A weighted mixture of query classes with unit overall mean."""
+
+    classes: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.classes) == 0:
+            raise ValueError("a mix needs at least one class")
+        names = [c.name for c in self.classes]
+        if len(set(names)) != len(names):
+            raise ValueError("class names must be unique")
+
+    @property
+    def weights(self) -> np.ndarray:
+        w = np.array([c.weight for c in self.classes], dtype=float)
+        return w / w.sum()
+
+    @property
+    def mean_scale(self) -> float:
+        """Mixture mean before normalization."""
+        return float(
+            (self.weights * [c.demand_scale for c in self.classes]).sum()
+        )
+
+    def effective_cv(self) -> float:
+        """Coefficient of variation of the normalized mixture."""
+        w = self.weights
+        scales = np.array([c.demand_scale for c in self.classes]) / self.mean_scale
+        cvs = np.array([c.cv for c in self.classes])
+        # Within-class second moment: E[X^2] = mean^2 (1 + cv^2).
+        second = (w * scales**2 * (1 + cvs**2)).sum()
+        var = second - 1.0
+        return float(np.sqrt(max(var, 0.0)))
+
+    def sample_demands(
+        self, n: int, rng=None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(demands, class indices) for ``n`` queries; overall mean 1."""
+        rng = as_rng(rng)
+        w = self.weights
+        labels = rng.choice(len(self.classes), size=n, p=w)
+        demands = np.empty(n)
+        norm = self.mean_scale
+        for j, cls in enumerate(self.classes):
+            members = labels == j
+            k = int(members.sum())
+            if k == 0:
+                continue
+            mean_j = cls.demand_scale / norm
+            if cls.cv == 0:
+                demands[members] = mean_j
+            else:
+                sigma2 = np.log1p(cls.cv**2)
+                mu = np.log(mean_j) - 0.5 * sigma2
+                demands[members] = rng.lognormal(mu, np.sqrt(sigma2), size=k)
+        return demands, labels
+
+
+#: Ready-made mixes for the suite's online services.
+YCSB_SESSION_MIX = QueryMix(
+    classes=(
+        QueryClass("read", weight=0.95, demand_scale=1.0, cv=0.2),
+        QueryClass("update", weight=0.05, demand_scale=2.5, cv=0.4),
+    )
+)
+
+SPARK_TASK_MIX = QueryMix(
+    classes=(
+        QueryClass("map-stage", weight=0.8, demand_scale=0.7, cv=0.3),
+        QueryClass("reduce-stage", weight=0.2, demand_scale=2.2, cv=0.5),
+    )
+)
+
+SOCIAL_REQUEST_MIX = QueryMix(
+    classes=(
+        QueryClass("read-timeline", weight=0.7, demand_scale=0.8, cv=0.4),
+        QueryClass("compose-post", weight=0.25, demand_scale=1.3, cv=0.5),
+        QueryClass("upload-media", weight=0.05, demand_scale=2.4, cv=0.7),
+    )
+)

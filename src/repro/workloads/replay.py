@@ -1,0 +1,117 @@
+"""Trace recording and replay.
+
+The paper's workload generator drives live benchmarks; production
+deployments often must replay *recorded* traffic instead (arrival
+timestamps and per-query demands captured earlier).  This module
+records traces from testbed runs, persists them, and replays them
+through the Stage 3 queueing simulator under alternative policies —
+"what would this exact traffic have looked like with timeout T?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.queueing.ggk import QueueResult, StapQueueConfig, simulate_stap_queue
+
+if TYPE_CHECKING:  # avoid a workloads <-> testbed import cycle
+    from repro.testbed.runtime import ServiceResult
+
+
+@dataclass(frozen=True)
+class ArrivalTrace:
+    """A recorded stream: absolute arrival times + demand multipliers."""
+
+    arrival_times: np.ndarray
+    demands: np.ndarray
+    service_name: str = ""
+
+    def __post_init__(self) -> None:
+        a = np.asarray(self.arrival_times, dtype=float)
+        d = np.asarray(self.demands, dtype=float)
+        if a.ndim != 1 or a.shape != d.shape or a.size == 0:
+            raise ValueError("need matching non-empty 1-D arrays")
+        if np.any(np.diff(a) < 0):
+            raise ValueError("arrival_times must be sorted")
+        if np.any(d <= 0):
+            raise ValueError("demands must be positive")
+        object.__setattr__(self, "arrival_times", a)
+        object.__setattr__(self, "demands", d)
+
+    @property
+    def n_queries(self) -> int:
+        return int(self.arrival_times.size)
+
+    @property
+    def duration(self) -> float:
+        return float(self.arrival_times[-1] - self.arrival_times[0])
+
+    @property
+    def mean_rate(self) -> float:
+        if self.duration == 0:
+            return float("inf")
+        return (self.n_queries - 1) / self.duration
+
+    @classmethod
+    def from_service_result(cls, result: "ServiceResult") -> "ArrivalTrace":
+        """Record the traffic a testbed run actually saw (normalized clock)."""
+        return cls(
+            arrival_times=result.arrival_times.copy(),
+            demands=result.demands.copy(),
+            service_name=result.name,
+        )
+
+    def save(self, path) -> None:
+        np.savez_compressed(
+            path,
+            arrival_times=self.arrival_times,
+            demands=self.demands,
+            name=np.frombuffer(self.service_name.encode(), dtype=np.uint8),
+        )
+
+    @classmethod
+    def load(cls, path) -> "ArrivalTrace":
+        with np.load(path, allow_pickle=False) as data:
+            return cls(
+                arrival_times=data["arrival_times"],
+                demands=data["demands"],
+                service_name=bytes(data["name"].tobytes()).decode(),
+            )
+
+    def scaled(self, rate_factor: float) -> "ArrivalTrace":
+        """Speed the trace up (>1) or slow it down (<1) while keeping the
+        same demand sequence — standard load-scaling replay."""
+        if rate_factor <= 0:
+            raise ValueError("rate_factor must be > 0")
+        t0 = self.arrival_times[0]
+        return ArrivalTrace(
+            arrival_times=t0 + (self.arrival_times - t0) / rate_factor,
+            demands=self.demands,
+            service_name=self.service_name,
+        )
+
+
+def replay_through_queue(
+    trace: ArrivalTrace,
+    timeout: float,
+    boost_speedup: float,
+    n_servers: int = 2,
+    mean_service_time: float = 1.0,
+    warmup_fraction: float = 0.1,
+) -> QueueResult:
+    """Replay a recorded trace under an alternative short-term policy.
+
+    The exact recorded arrivals and demands run through the Stage 3
+    simulator with the new (timeout, boosted-rate) setting.
+    """
+    cfg = StapQueueConfig(
+        n_servers=n_servers,
+        mean_service_time=mean_service_time,
+        timeout=timeout,
+        boost_speedup=boost_speedup,
+    )
+    res = simulate_stap_queue(trace.arrival_times, trace.demands, cfg)
+    return res.drop_warmup(warmup_fraction)

@@ -1,0 +1,30 @@
+"""Shared profiling fixtures (profiling runs are the slow part)."""
+
+import pytest
+
+from repro.core.profiler import Profiler, ProfilerSettings
+from repro.core.sampling import uniform_conditions
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small but real profile dataset over redis+social conditions."""
+    conditions = uniform_conditions(("redis", "social"), n=8, rng=0)
+    profiler = Profiler(
+        settings=ProfilerSettings(n_queries=500, n_windows=4, trace_ticks=16),
+        rng=0,
+    )
+    return profiler.profile(conditions)
+
+
+@pytest.fixture(scope="session")
+def mixed_pair_dataset():
+    """Profiles over two different collocation pairs (for split tests)."""
+    profiler = Profiler(
+        settings=ProfilerSettings(n_queries=400, n_windows=3, trace_ticks=16),
+        rng=1,
+    )
+    conds = uniform_conditions(("jacobi", "bfs"), n=4, rng=1) + uniform_conditions(
+        ("redis", "knn"), n=4, rng=2
+    )
+    return profiler.profile(conds)

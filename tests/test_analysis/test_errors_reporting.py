@@ -1,0 +1,53 @@
+"""Tests for error metrics and report formatting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ape_summary,
+    format_series,
+    format_table,
+    median_ape,
+    percentile_ape,
+)
+
+
+class TestErrorStats:
+    def test_median_ape(self):
+        assert median_ape([1.1, 1.2, 0.9], [1.0, 1.0, 1.0]) == pytest.approx(0.1)
+
+    def test_percentile_ape(self):
+        pred = np.ones(100) * 1.1
+        pred[-1] = 2.0
+        actual = np.ones(100)
+        assert percentile_ape(pred, actual, 50) == pytest.approx(0.1)
+        assert percentile_ape(pred, actual, 99.9) > 0.5
+
+    def test_summary_keys(self):
+        s = ape_summary([1.0, 2.0], [1.0, 1.0])
+        assert set(s) == {"median", "p95", "mean", "n"}
+        assert s["n"] == 2
+
+
+class TestFormatting:
+    def test_table_alignment(self):
+        out = format_table(["name", "value"], [["a", 1.23456], ["bb", 2.0]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "1.235" in out  # default precision 3
+
+    def test_table_title(self):
+        out = format_table(["x"], [[1]], title="Table 1")
+        assert out.splitlines()[0] == "Table 1"
+
+    def test_table_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_series(self):
+        out = format_series("fig", [1, 2], [0.5, 0.25], "t", "err")
+        assert "fig" in out and "err" in out
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("f", [1], [1, 2])

@@ -1,0 +1,35 @@
+"""Tests for EA feature-importance analysis."""
+
+import pytest
+
+from repro.analysis import ea_feature_importances, top_features
+from repro.core import ProfileDataset
+from repro.core.profile_vec import DYNAMIC_FEATURE_NAMES, STATIC_FEATURE_NAMES
+
+
+class TestImportances:
+    def test_named_output(self, small_dataset):
+        imp = ea_feature_importances(small_dataset, n_estimators=10, rng=0)
+        expected = set(STATIC_FEATURE_NAMES) | set(DYNAMIC_FEATURE_NAMES) | {
+            "counter_trace"
+        }
+        assert set(imp) == expected
+        assert abs(sum(imp.values()) - 1.0) < 0.05
+
+    def test_timeout_matters(self, small_dataset):
+        """The own timeout is a first-order driver of EA."""
+        imp = ea_feature_importances(small_dataset, n_estimators=20, rng=0)
+        names = [n for n, _ in top_features(imp, k=8)]
+        assert any("timeout" in n or "boost" in n for n in names)
+
+    def test_top_features_sorted(self, small_dataset):
+        imp = ea_feature_importances(small_dataset, n_estimators=10, rng=0)
+        top = top_features(imp, k=3)
+        assert len(top) == 3
+        assert top[0][1] >= top[1][1] >= top[2][1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ea_feature_importances(ProfileDataset())
+        with pytest.raises(ValueError):
+            top_features({"a": 1.0}, k=0)

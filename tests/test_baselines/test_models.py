@@ -1,0 +1,151 @@
+"""Tests for the baseline models: ridge, decision tree, MLP, CNN."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CNNRegressor,
+    DecisionTreeBaseline,
+    MLPRegressor,
+    RidgeRegression,
+    tune_cnn,
+)
+from repro.baselines.cnn import CNNHyperParams
+
+
+class TestRidge:
+    def test_recovers_linear_function(self):
+        r = np.random.default_rng(0)
+        X = r.normal(size=(300, 4))
+        y = X @ np.array([1.0, -2.0, 0.5, 0.0]) + 3.0
+        m = RidgeRegression(alpha=1e-6).fit(X, y)
+        assert np.allclose(m.predict(X), y, atol=1e-6)
+
+    def test_regularization_shrinks_coefficients(self):
+        r = np.random.default_rng(1)
+        X = r.normal(size=(50, 3))
+        y = X[:, 0] * 5 + r.normal(0, 0.1, 50)
+        small = RidgeRegression(alpha=0.01).fit(X, y)
+        big = RidgeRegression(alpha=1000.0).fit(X, y)
+        assert np.abs(big.coef_).sum() < np.abs(small.coef_).sum()
+
+    def test_constant_feature_safe(self):
+        X = np.column_stack([np.ones(20), np.arange(20.0)])
+        y = np.arange(20.0)
+        m = RidgeRegression(alpha=1e-6).fit(X, y)
+        assert np.allclose(m.predict(X), y, atol=1e-4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RidgeRegression(alpha=-1)
+        with pytest.raises(RuntimeError):
+            RidgeRegression().predict(np.zeros((1, 2)))
+        with pytest.raises(ValueError):
+            RidgeRegression().fit(np.zeros((3, 2)), np.zeros(4))
+
+
+class TestDecisionTree:
+    def test_fits_step_function(self):
+        r = np.random.default_rng(2)
+        X = r.uniform(size=(200, 3))
+        y = np.where(X[:, 0] > 0.5, 1.0, 0.0)
+        m = DecisionTreeBaseline(rng=0).fit(X, y)
+        assert np.mean((m.predict(X) - y) ** 2) < 0.01
+
+    def test_depth_property(self):
+        r = np.random.default_rng(3)
+        X = r.uniform(size=(100, 2))
+        y = X[:, 0] + X[:, 1]
+        m = DecisionTreeBaseline(max_depth=4, rng=0).fit(X, y)
+        assert 1 <= m.depth <= 4
+
+
+class TestMLP:
+    def test_learns_nonlinear(self):
+        r = np.random.default_rng(4)
+        X = r.uniform(-1, 1, size=(400, 2))
+        y = np.sin(3 * X[:, 0]) + X[:, 1] ** 2
+        m = MLPRegressor(hidden=(32,), epochs=150, rng=0).fit(X, y)
+        assert np.mean((m.predict(X) - y) ** 2) < 0.1 * np.var(y)
+
+    def test_loss_decreases(self):
+        r = np.random.default_rng(5)
+        X = r.normal(size=(200, 3))
+        y = X[:, 0] * 2
+        m = MLPRegressor(hidden=(16,), epochs=50, rng=0).fit(X, y)
+        assert m.loss_history_[-1] < m.loss_history_[0]
+
+    def test_seed_variation(self):
+        """Back-prop models vary across seeds — the Figure 5 phenomenon."""
+        r = np.random.default_rng(6)
+        X = r.uniform(size=(150, 3))
+        y = X[:, 0] + np.sin(5 * X[:, 1])
+        p1 = MLPRegressor(hidden=(8,), epochs=20, rng=1).fit(X, y).predict(X)
+        p2 = MLPRegressor(hidden=(8,), epochs=20, rng=2).fit(X, y).predict(X)
+        assert not np.allclose(p1, p2)
+
+    def test_dropout_path(self):
+        r = np.random.default_rng(7)
+        X = r.normal(size=(100, 4))
+        y = X[:, 0]
+        m = MLPRegressor(hidden=(16,), epochs=20, dropout=0.3, rng=0).fit(X, y)
+        # Inference is deterministic (dropout disabled).
+        assert np.array_equal(m.predict(X), m.predict(X))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MLPRegressor(epochs=0)
+        with pytest.raises(RuntimeError):
+            MLPRegressor().predict(np.zeros((1, 2)))
+
+
+class TestCNN:
+    def _trace_data(self, n=80, rng=0):
+        r = np.random.default_rng(rng)
+        t = r.normal(0, 0.2, size=(n, 8, 8))
+        y = r.uniform(size=n)
+        for i in range(n):
+            t[i, 2:5, 2:5] += y[i]
+        return t, y
+
+    def test_learns_spatial_signal(self):
+        t, y = self._trace_data(n=150)
+        params = CNNHyperParams(n_filters=4, kernel=(3, 3), hidden=16, epochs=60)
+        m = CNNRegressor(params, rng=0).fit(None, t, y)
+        pred = m.predict(None, t)
+        assert np.corrcoef(pred, y)[0, 1] > 0.8
+
+    def test_flat_features_accepted(self):
+        t, y = self._trace_data(n=60)
+        xf = np.random.default_rng(8).normal(size=(60, 3))
+        m = CNNRegressor(CNNHyperParams(epochs=5), rng=0).fit(xf, t, y)
+        assert m.predict(xf, t).shape == (60,)
+
+    def test_requires_traces(self):
+        with pytest.raises(ValueError):
+            CNNRegressor().fit(np.zeros((5, 2)), None, np.zeros(5))
+
+    def test_kernel_too_large(self):
+        t, y = self._trace_data(n=10)
+        with pytest.raises(ValueError):
+            CNNRegressor(CNNHyperParams(kernel=(9, 9), epochs=1), rng=0).fit(
+                None, t, y
+            )
+
+    def test_seed_variance_exists(self):
+        t, y = self._trace_data(n=60, rng=9)
+        p = CNNHyperParams(epochs=10)
+        m1 = CNNRegressor(p, rng=1).fit(None, t, y).predict(None, t)
+        m2 = CNNRegressor(p, rng=2).fit(None, t, y).predict(None, t)
+        assert not np.allclose(m1, m2)
+
+    def test_tuner_returns_working_model(self):
+        t, y = self._trace_data(n=60, rng=10)
+        model, params = tune_cnn(None, t, y, n_trials=2, rng=0)
+        assert model.predict(None, t).shape == (60,)
+        assert isinstance(params, CNNHyperParams)
+
+    def test_tuner_validation(self):
+        t, y = self._trace_data(n=20)
+        with pytest.raises(ValueError):
+            tune_cnn(None, t, y, n_trials=0)

@@ -1,0 +1,113 @@
+"""Tests for utility-based cache partitioning (UCP)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import marginal_utility_curve, ucp_partition, ucp_private_mb
+from repro.testbed import (
+    CollocatedService,
+    CollocationConfig,
+    CollocationRuntime,
+    default_machine,
+)
+from repro.workloads import all_workloads, get_workload
+
+WAY = 2 * 1024 * 1024  # e5-2683 way size
+
+
+class TestMarginalUtility:
+    def test_decreasing_for_exponential_mrc(self):
+        u = marginal_utility_curve(get_workload("redis"), 10, WAY)
+        assert u.shape == (10,)
+        assert np.all(np.diff(u) <= 1e-9)
+
+    def test_streaming_low_utility(self):
+        stream = marginal_utility_curve(get_workload("spstream"), 6, WAY)
+        redis = marginal_utility_curve(get_workload("redis"), 6, WAY)
+        # Redis's first extra ways eliminate far more misses per second.
+        assert redis[1] > stream[1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            marginal_utility_curve(get_workload("redis"), 0, WAY)
+
+
+class TestPartition:
+    def test_conserves_ways(self):
+        specs = [get_workload(n) for n in ("redis", "knn", "spstream")]
+        alloc = ucp_partition(specs, total_ways=10, way_bytes=WAY)
+        assert sum(alloc) == 10
+        assert all(a >= 1 for a in alloc)
+
+    def test_cache_hungry_wins(self):
+        specs = [get_workload("redis"), get_workload("spstream")]
+        alloc = ucp_partition(specs, total_ways=8, way_bytes=WAY)
+        assert alloc[0] > alloc[1]
+
+    def test_min_ways_respected(self):
+        specs = [get_workload("redis"), get_workload("knn")]
+        alloc = ucp_partition(specs, 6, WAY, min_ways=2)
+        assert min(alloc) >= 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ucp_partition([], 4, WAY)
+        with pytest.raises(ValueError):
+            ucp_partition([get_workload("redis")] * 3, 2, WAY)
+        with pytest.raises(ValueError):
+            ucp_partition([get_workload("redis")], 2, WAY, min_ways=0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(4, 16), st.integers(2, 4))
+    def test_conservation_property(self, total, n):
+        specs = all_workloads()[:n]
+        alloc = ucp_partition(specs, total, WAY)
+        assert sum(alloc) == total
+
+
+class TestUcpOnTestbed:
+    def test_asymmetric_partition_runs(self):
+        specs = [get_workload("redis"), get_workload("knn")]
+        mbs = ucp_private_mb(specs, total_ways=6, way_bytes=WAY)
+        assert len(mbs) == 2 and mbs[0] > mbs[1]
+        cfg = CollocationConfig(
+            machine=default_machine(),
+            services=[
+                CollocatedService(s, timeout=np.inf, utilization=0.9)
+                for s in specs
+            ],
+            private_mb=mbs,
+            shared_mb=0.0,
+        )
+        assert not cfg.is_uniform
+        cfg.validate_conjectures()
+        res = CollocationRuntime(cfg, rng=0).run(n_queries=300)
+        # No shared region: nobody can boost.
+        for s in res.services:
+            assert s.boost_fraction == 0.0
+
+    def test_ucp_beats_equal_split_on_misses_proxy(self):
+        """Giving redis its UCP share speeds it up versus an equal split
+        (the aggregate-utility objective UCP optimizes)."""
+        specs = [get_workload("redis"), get_workload("knn")]
+        mbs = ucp_private_mb(specs, total_ways=6, way_bytes=WAY)
+
+        def mean_rt(private_mb):
+            cfg = CollocationConfig(
+                machine=default_machine(),
+                services=[
+                    CollocatedService(s, timeout=np.inf, utilization=0.9)
+                    for s in specs
+                ],
+                private_mb=private_mb,
+                shared_mb=0.0,
+            )
+            run = CollocationRuntime(cfg, rng=1).run(n_queries=800)
+            return np.array(
+                [s.response_times_norm.mean() for s in run.services]
+            )
+
+        ucp = mean_rt(mbs)
+        equal = mean_rt([6.0, 6.0])
+        assert ucp[0] < equal[0]  # redis strictly faster under UCP

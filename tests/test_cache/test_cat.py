@@ -1,0 +1,186 @@
+"""Tests for CAT way masks, policies and the Section 2 conjectures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cache import (
+    CatController,
+    ShortTermPolicy,
+    WayMask,
+    private_region,
+)
+from repro.cache.cat import pairwise_layout
+
+
+class TestWayMask:
+    def test_ways_and_bitmask(self):
+        m = WayMask(2, 3)
+        assert list(m.ways()) == [2, 3, 4]
+        assert m.bitmask() == 0b11100
+
+    def test_from_bitmask_roundtrip(self):
+        m = WayMask(4, 5)
+        assert WayMask.from_bitmask(m.bitmask()) == m
+
+    def test_from_bitmask_rejects_noncontiguous(self):
+        with pytest.raises(ValueError, match="contiguous"):
+            WayMask.from_bitmask(0b1011)
+
+    def test_from_bitmask_rejects_zero(self):
+        with pytest.raises(ValueError):
+            WayMask.from_bitmask(0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            WayMask(0, 0)
+
+    def test_rejects_negative_offset(self):
+        with pytest.raises(ValueError):
+            WayMask(-1, 2)
+
+    def test_overlap_and_intersection(self):
+        a, b = WayMask(0, 4), WayMask(2, 4)
+        assert a.overlaps(b) and b.overlaps(a)
+        assert a.intersection(b) == WayMask(2, 2)
+
+    def test_disjoint_intersection_none(self):
+        assert WayMask(0, 2).intersection(WayMask(2, 2)) is None
+        assert not WayMask(0, 2).overlaps(WayMask(2, 2))
+
+    def test_covers(self):
+        assert WayMask(0, 6).covers(WayMask(1, 3))
+        assert not WayMask(1, 3).covers(WayMask(0, 6))
+
+    @given(
+        st.integers(0, 20), st.integers(1, 10), st.integers(0, 20), st.integers(1, 10)
+    )
+    def test_overlap_symmetric_and_matches_sets(self, o1, l1, o2, l2):
+        a, b = WayMask(o1, l1), WayMask(o2, l2)
+        sets_overlap = bool(set(a.ways().tolist()) & set(b.ways().tolist()))
+        assert a.overlaps(b) == sets_overlap == b.overlaps(a)
+
+    @given(
+        st.integers(0, 20), st.integers(1, 10), st.integers(0, 20), st.integers(1, 10)
+    )
+    def test_intersection_matches_set_semantics(self, o1, l1, o2, l2):
+        a, b = WayMask(o1, l1), WayMask(o2, l2)
+        expect = sorted(set(a.ways().tolist()) & set(b.ways().tolist()))
+        inter = a.intersection(b)
+        got = [] if inter is None else inter.ways().tolist()
+        assert got == expect
+
+
+class TestShortTermPolicy:
+    def test_gross_increase(self):
+        p = ShortTermPolicy(WayMask(0, 2), WayMask(0, 4), timeout=1.5)
+        assert p.gross_increase == 2.0
+
+    def test_boost_must_cover_default(self):
+        with pytest.raises(ValueError, match="cover"):
+            ShortTermPolicy(WayMask(0, 4), WayMask(2, 4), timeout=1.0)
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError, match="timeout"):
+            ShortTermPolicy(WayMask(0, 2), WayMask(0, 3), timeout=-1)
+
+    def test_active_mask(self):
+        p = ShortTermPolicy(WayMask(0, 2), WayMask(0, 4), timeout=1.0)
+        assert p.active_mask(False) == WayMask(0, 2)
+        assert p.active_mask(True) == WayMask(0, 4)
+
+
+class TestPrivateRegion:
+    def test_no_others_full_default(self):
+        p = ShortTermPolicy(WayMask(0, 2), WayMask(0, 4), timeout=1.0)
+        assert private_region(p, []) == WayMask(0, 2)
+
+    def test_pairwise_layout_private_regions(self):
+        pa, pb = pairwise_layout(8, private_ways=2, shared_ways=2, timeouts=(1.0, 1.0))
+        assert private_region(pa, [pb]) == WayMask(0, 2)
+        assert private_region(pb, [pa]) == WayMask(4, 2)
+
+    def test_fully_shared_no_private(self):
+        a = ShortTermPolicy(WayMask(0, 4), WayMask(0, 4), timeout=1.0)
+        b = ShortTermPolicy(WayMask(0, 4), WayMask(0, 4), timeout=1.0)
+        assert private_region(a, [b]) is None
+
+
+class TestCatController:
+    def _controller(self, n_ways=8):
+        ctl = CatController(n_ways=n_ways)
+        pa, pb = pairwise_layout(
+            n_ways, private_ways=2, shared_ways=2, timeouts=(1.0, 2.0)
+        )
+        ctl.register("A", pa)
+        ctl.register("B", pb)
+        return ctl
+
+    def test_register_and_masks(self):
+        ctl = self._controller()
+        assert ctl.active_mask("A") == WayMask(0, 2)
+        ctl.set_boosted("A", True)
+        assert ctl.active_mask("A") == WayMask(0, 4)
+        assert ctl.is_boosted("A")
+        ctl.set_boosted("A", False)
+        assert not ctl.is_boosted("A")
+
+    def test_register_rejects_oversized_policy(self):
+        ctl = CatController(n_ways=4)
+        with pytest.raises(ValueError, match="beyond"):
+            ctl.register("X", ShortTermPolicy(WayMask(0, 3), WayMask(0, 6), 1.0))
+
+    def test_set_boosted_unknown_workload(self):
+        ctl = self._controller()
+        with pytest.raises(KeyError):
+            ctl.set_boosted("nope", True)
+
+    def test_unregister(self):
+        ctl = self._controller()
+        ctl.unregister("A")
+        assert ctl.workloads == ["B"]
+
+    def test_conjecture1_private_disjoint(self):
+        ctl = self._controller()
+        assert ctl.private_regions_disjoint()
+        assert ctl.all_have_private_cache()
+
+    def test_conjecture2_max_two_sharers(self):
+        # Three workloads on a 12-way LLC, middle one shares with both sides.
+        ctl = CatController(n_ways=12)
+        ctl.register("L", ShortTermPolicy(WayMask(0, 2), WayMask(0, 4), 1.0))
+        ctl.register(
+            "M", ShortTermPolicy(WayMask(5, 2), WayMask(3, 6), 1.0)
+        )  # shares 3-4 with L's boost and 9-10... no: boost is 3..8
+        ctl.register("R", ShortTermPolicy(WayMask(10, 2), WayMask(8, 4), 1.0))
+        assert ctl.all_have_private_cache()
+        assert ctl.max_sharers() <= 2
+
+    @given(st.data())
+    def test_conjectures_hold_for_random_valid_layouts(self, data):
+        """Any pairwise layout generated by pairwise_layout satisfies both
+        Section 2 conjectures."""
+        n_ways = data.draw(st.integers(6, 24))
+        private = data.draw(st.integers(1, max(1, (n_ways - 1) // 2 - 1)))
+        max_shared = n_ways - 2 * private
+        shared = data.draw(st.integers(1, max(1, max_shared)))
+        if 2 * private + shared > n_ways:
+            return
+        ctl = CatController(n_ways=n_ways)
+        pa, pb = pairwise_layout(n_ways, private, shared, timeouts=(1.0, 1.0))
+        ctl.register("A", pa)
+        ctl.register("B", pb)
+        assert ctl.private_regions_disjoint()
+        assert ctl.max_sharers() <= 2
+
+
+class TestPairwiseLayout:
+    def test_rejects_overcommitted_layout(self):
+        with pytest.raises(ValueError, match="ways"):
+            pairwise_layout(8, private_ways=3, shared_ways=4, timeouts=(1.0, 1.0))
+
+    def test_shared_region_is_shared(self):
+        pa, pb = pairwise_layout(10, 3, 2, timeouts=(0.5, 1.5))
+        inter = pa.boost.intersection(pb.boost)
+        assert inter is not None and inter.length == 2
+        assert pa.timeout == 0.5 and pb.timeout == 1.5

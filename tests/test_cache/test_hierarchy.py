@@ -1,0 +1,90 @@
+"""Tests for the L1/L2/LLC hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    CacheGeometry,
+    CacheHierarchy,
+    CacheLevelSpec,
+    HierarchyCounters,
+    SetAssociativeCache,
+    WayMask,
+)
+
+
+def make_hierarchy(cos_id=0, llc=None):
+    llc = llc or SetAssociativeCache(CacheGeometry(n_sets=64, n_ways=8))
+    return (
+        CacheHierarchy(
+            llc=llc,
+            l1d_spec=CacheLevelSpec("L1D", 2 * 1024, 2),
+            l2_spec=CacheLevelSpec("L2", 8 * 1024, 4),
+            cos_id=cos_id,
+        ),
+        llc,
+    )
+
+
+class TestRouting:
+    def test_empty_stream(self):
+        h, _ = make_hierarchy()
+        c = h.access(np.array([], dtype=np.int64))
+        assert c.l1d_loads == 0 and c.llc_loads == 0
+
+    def test_miss_cascade_totals(self):
+        h, _ = make_hierarchy()
+        rng = np.random.default_rng(0)
+        addrs = rng.integers(0, 1 << 20, size=500) * 64
+        c = h.access(addrs, rng=np.random.default_rng(1))
+        assert c.l1d_loads + c.l1d_stores == 500
+        l1_misses = c.l1d_load_misses + c.l1d_store_misses
+        assert c.l2_requests == l1_misses
+        assert c.llc_loads + c.llc_stores == c.l2_misses
+        assert c.llc_load_misses <= c.llc_loads
+        assert c.llc_store_misses <= c.llc_stores
+
+    def test_hot_loop_served_by_l1(self):
+        h, _ = make_hierarchy()
+        addrs = np.tile(np.arange(4) * 64, 100)
+        c = h.access(addrs, rng=np.random.default_rng(2))
+        # After compulsory misses everything stays in L1.
+        assert c.l1d_load_misses + c.l1d_store_misses <= 4
+
+    def test_llc_mask_respected(self):
+        h, llc = make_hierarchy(cos_id=3)
+        rng = np.random.default_rng(0)
+        addrs = rng.integers(0, 1 << 22, size=2000) * 64
+        h.access(addrs, llc_mask=WayMask(2, 3), rng=np.random.default_rng(1))
+        filled = np.nonzero(llc.valid.any(axis=0))[0]
+        assert set(filled.tolist()) <= {2, 3, 4}
+
+    def test_store_fraction_zero_all_loads(self):
+        h, _ = make_hierarchy()
+        c = h.access(np.arange(50) * 64, store_fraction=0.0)
+        assert c.l1d_stores == 0 and c.llc_stores == 0
+
+    def test_shared_llc_cross_pollution(self):
+        """Two hierarchies over one LLC contend for its lines."""
+        llc = SetAssociativeCache(CacheGeometry(n_sets=16, n_ways=2))
+        ha, _ = make_hierarchy(cos_id=0, llc=llc)
+        hb, _ = make_hierarchy(cos_id=1, llc=llc)
+        rng = np.random.default_rng(0)
+        a_addrs = rng.integers(0, 1 << 18, size=1000) * 64
+        b_addrs = rng.integers(1 << 20, 1 << 21, size=1000) * 64
+        ha.access(a_addrs, rng=np.random.default_rng(1))
+        hb.access(b_addrs, rng=np.random.default_rng(2))
+        owners = set(llc.owner[llc.valid].tolist())
+        assert owners == {0, 1} or 1 in owners  # B displaced some of A
+
+
+class TestCounters:
+    def test_merge_adds_fields(self):
+        a = HierarchyCounters(l1d_loads=3, llc_load_misses=2)
+        b = HierarchyCounters(l1d_loads=4, llc_load_misses=1)
+        m = a.merge(b)
+        assert m.l1d_loads == 7 and m.llc_load_misses == 3
+
+    def test_as_dict_keys_stable(self):
+        d = HierarchyCounters().as_dict()
+        assert "llc_evictions" in d and len(d) == 14

@@ -1,0 +1,88 @@
+"""Tests for CMT/MBM-style cache monitoring."""
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    CacheGeometry,
+    CacheMonitor,
+    SetAssociativeCache,
+    WayMask,
+)
+
+
+def cache_and_monitor(n_sets=8, n_ways=4):
+    c = SetAssociativeCache(CacheGeometry(n_sets=n_sets, n_ways=n_ways))
+    return c, CacheMonitor(c)
+
+
+class TestOccupancy:
+    def test_counts_resident_lines(self):
+        c, m = cache_and_monitor()
+        c.access(np.arange(6) * 64, cos_id=1)
+        assert m.occupancy_bytes(1) == 6 * 64
+        assert m.occupancy_bytes(2) == 0
+
+    def test_split_between_cos(self):
+        c, m = cache_and_monitor()
+        c.access(np.arange(4) * 64, mask=WayMask(0, 2), cos_id=1)
+        c.access((np.arange(4) + 100) * 64, mask=WayMask(2, 2), cos_id=2)
+        r = m.read_all()
+        assert r[1].occupancy_bytes > 0 and r[2].occupancy_bytes > 0
+        total = r[1].occupancy_bytes + r[2].occupancy_bytes
+        assert total == int(c.valid.sum()) * 64
+
+    def test_occupancy_fraction(self):
+        c, m = cache_and_monitor(n_sets=4, n_ways=2)
+        c.access(np.arange(4) * 64, cos_id=0)
+        reading = m.read(0)
+        assert reading.occupancy_fraction == pytest.approx(
+            4 / (4 * 2), rel=1e-9
+        )
+
+
+class TestBandwidth:
+    def test_installs_count_misses(self):
+        c, m = cache_and_monitor()
+        c.access(np.arange(5) * 64, cos_id=3)
+        r = m.read(3)
+        assert r.installs == 5
+        assert r.local_bandwidth_bytes == 5 * 64
+
+    def test_delta_semantics(self):
+        c, m = cache_and_monitor()
+        c.access(np.arange(5) * 64, cos_id=0)
+        m.read(0)
+        c.access(np.arange(5) * 64, cos_id=0)  # all hits: no new installs
+        assert m.read(0).installs == 0
+        c.access((np.arange(3) + 50) * 64, cos_id=0)
+        assert m.read(0).installs == 3
+
+    def test_reset_restores_baseline(self):
+        c, m = cache_and_monitor()
+        c.access(np.arange(4) * 64, cos_id=0)
+        m.read(0)
+        m.reset()
+        assert m.read(0).installs == 4  # full history again
+
+
+class TestContentionSignal:
+    def test_evictions_attributed_to_victim(self):
+        c, m = cache_and_monitor(n_sets=1, n_ways=2)
+        c.access(np.arange(2) * 64, cos_id=1)  # fills both ways
+        c.access((np.arange(2) + 10) * 64, cos_id=2)  # evicts COS 1's lines
+        r = m.read_all()
+        assert r[1].evictions_suffered == 2
+        assert r[2].evictions_suffered == 0
+
+    def test_churn_ratio(self):
+        c, m = cache_and_monitor(n_sets=1, n_ways=1)
+        c.access([0 * 64], cos_id=0)
+        c.access([1 * 64], cos_id=0)  # self-eviction
+        r = m.read(0)
+        assert r.churn_ratio == pytest.approx(1 / 2)
+
+    def test_read_all_skips_invalid_owner(self):
+        c, m = cache_and_monitor()
+        c.access(np.arange(3) * 64, cos_id=5)
+        assert set(m.read_all()) == {5}

@@ -1,0 +1,108 @@
+"""Tests for non-contiguous allocation (the Section 2 contrast)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache import WayMask
+from repro.cache.noncontiguous import (
+    NonContiguousController,
+    NonContiguousPolicy,
+    WaySet,
+    star_layout,
+)
+
+
+class TestWaySet:
+    def test_bitmask_roundtrip(self):
+        s = WaySet(frozenset({0, 3, 5}))
+        assert WaySet.from_bitmask(s.bitmask()) == s
+        assert s.bitmask() == 0b101001
+
+    def test_from_contiguous_mask(self):
+        s = WaySet.from_mask(WayMask(2, 3))
+        assert s.ways == {2, 3, 4}
+        assert s.is_contiguous
+
+    def test_noncontiguous_detected(self):
+        assert not WaySet(frozenset({0, 2})).is_contiguous
+
+    def test_set_algebra(self):
+        a, b = WaySet(frozenset({0, 1, 4})), WaySet(frozenset({1, 4, 5}))
+        assert a.overlaps(b)
+        assert a.intersection(b).ways == {1, 4}
+        assert a.union(b).ways == {0, 1, 4, 5}
+        assert a.difference(b).ways == {0}
+        assert a.difference(a) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WaySet(frozenset())
+        with pytest.raises(ValueError):
+            WaySet(frozenset({-1}))
+        with pytest.raises(ValueError):
+            WaySet.from_bitmask(0)
+
+    @settings(max_examples=30)
+    @given(st.sets(st.integers(0, 30), min_size=1, max_size=10))
+    def test_bitmask_bijection(self, ways):
+        s = WaySet(frozenset(ways))
+        assert WaySet.from_bitmask(s.bitmask()).ways == s.ways
+
+
+class TestPolicyAndController:
+    def test_boost_must_cover_default(self):
+        with pytest.raises(ValueError):
+            NonContiguousPolicy(
+                WaySet(frozenset({0, 1})), WaySet(frozenset({1, 2})), 1.0
+            )
+
+    def test_gross_increase(self):
+        p = NonContiguousPolicy(
+            WaySet(frozenset({5})), WaySet(frozenset({0, 1, 5})), 1.0
+        )
+        assert p.gross_increase == 3.0
+
+    def test_register_bounds(self):
+        ctl = NonContiguousController(n_ways=4)
+        with pytest.raises(ValueError):
+            ctl.register(
+                "x",
+                NonContiguousPolicy(
+                    WaySet(frozenset({5})), WaySet(frozenset({5})), 1.0
+                ),
+            )
+
+    def test_private_region_generalized(self):
+        ctl = NonContiguousController(n_ways=8)
+        pols = star_layout(2, private_ways_each=2, shared_ways=2)
+        ctl.register("a", pols[0])
+        ctl.register("b", pols[1])
+        assert ctl.private_region("a").ways == {2, 3}
+        assert ctl.private_region("b").ways == {4, 5}
+
+
+class TestStarLayout:
+    """The configuration contiguity forbids: N sharers of one pool."""
+
+    def test_many_sharers_with_private_cache(self):
+        n = 5
+        ctl = NonContiguousController(n_ways=32)
+        for i, pol in enumerate(star_layout(n, 2, 4)):
+            ctl.register(f"w{i}", pol)
+        # Everyone keeps private cache...
+        assert ctl.all_have_private_cache()
+        # ...yet the shared pool has n-1 > 2 sharers per setting — the
+        # structure Section 2 proves impossible under contiguous masks.
+        assert ctl.max_sharers() == n - 1 > 2
+
+    def test_boost_masks_noncontiguous(self):
+        pols = star_layout(3, 2, 2)
+        # Workloads beyond the first need a non-contiguous boost set.
+        assert not pols[1].boost.is_contiguous
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            star_layout(0, 1, 1)
+        with pytest.raises(ValueError):
+            star_layout(2, 0, 1)

@@ -1,0 +1,119 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestInfoCommands:
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "redis" in out and "spkmeans" in out
+
+    def test_machines(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        assert "e5-2683" in out and "platinum-8275-s0" in out
+
+
+class TestSimulate:
+    def test_basic_run(self, capsys):
+        rc = main(
+            [
+                "simulate",
+                "--pair", "jacobi", "bfs",
+                "--timeouts", "1.0", "1.5",
+                "--queries", "200",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "jacobi" in out and "p95" in out and "EA" in out
+
+    def test_inf_timeout(self, capsys):
+        rc = main(
+            [
+                "simulate",
+                "--pair", "jacobi", "bfs",
+                "--timeouts", "inf", "never",
+                "--queries", "150",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        # Boost never fires.
+        assert "0.000" in out
+
+    def test_timeout_count_mismatch(self, capsys):
+        rc = main(
+            ["simulate", "--pair", "jacobi", "bfs", "--timeouts", "1.0",
+             "--queries", "100"]
+        )
+        assert rc == 2
+        assert "one timeout per workload" in capsys.readouterr().err
+
+    def test_unknown_workload(self, capsys):
+        rc = main(["simulate", "--pair", "mysql", "bfs", "--queries", "100"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_machine(self, capsys):
+        rc = main(
+            ["simulate", "--pair", "jacobi", "bfs", "--machine", "epyc",
+             "--queries", "100"]
+        )
+        assert rc == 2
+
+
+class TestProfile:
+    def test_writes_loadable_dataset(self, tmp_path, capsys):
+        from repro.core import load_dataset
+
+        out = tmp_path / "prof.npz"
+        rc = main(
+            [
+                "profile",
+                "--pair", "redis", "knn",
+                "--conditions", "2",
+                "--queries", "200",
+                "--out", str(out),
+            ]
+        )
+        assert rc == 0
+        ds = load_dataset(out)
+        assert len(ds) > 0
+        assert ds.traces.shape[1] == 58
+        assert len(ds.conditions()) == 2
+
+
+class TestPolicy:
+    def test_recommends_timeouts(self, capsys):
+        rc = main(
+            [
+                "policy",
+                "--pair", "redis", "knn",
+                "--conditions", "4",
+                "--queries", "250",
+                "--learner", "random_forest",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "recommended timeouts" in out
+
+    def test_verify_flag(self, capsys):
+        rc = main(
+            [
+                "policy",
+                "--pair", "redis", "knn",
+                "--conditions", "4",
+                "--queries", "250",
+                "--learner", "linear",
+                "--verify",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Verification on the testbed" in out

@@ -1,0 +1,235 @@
+"""Tests for the EA model, RT model, pipeline and policy search."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import median_ape
+from repro.core import EAModel, ResponseTimeModel, RuntimeCondition, StacModel
+from repro.core.ea import ideal_effective_allocation
+from repro.core.policy_search import (
+    DEFAULT_TIMEOUT_GRID,
+    explore_timeouts,
+    model_driven_policy,
+    slo_matching,
+)
+from repro.workloads import get_workload
+from repro.workloads.base import MB
+
+FAST_DF = dict(
+    windows=[(5, 5)],
+    mgs_estimators=5,
+    mgs_max_instances=2000,
+    n_levels=1,
+    forests_per_level=2,
+    n_estimators=10,
+)
+
+
+@pytest.fixture(scope="module")
+def fitted(small_dataset):
+    train, test = small_dataset.split(0.5, rng=0)
+    model = StacModel(rng=0, **FAST_DF).fit(train)
+    return model, train, test
+
+
+class TestIdealEA:
+    def test_range(self):
+        spec = get_workload("redis")
+        ea = ideal_effective_allocation(spec, 2 * MB, 2 * MB, 2.0)
+        assert 0.5 < ea <= 1.0  # boosted speedup in (1, gross]
+
+    def test_matches_mrc_speedup(self):
+        spec = get_workload("redis")
+        ea = ideal_effective_allocation(spec, 2 * MB, 2 * MB, 2.0)
+        assert ea == pytest.approx(spec.speedup(4 * MB) / 2.0)
+
+    def test_compute_bound_floor(self):
+        """A capacity-insensitive workload gains nothing: EA = 1/gross."""
+        from dataclasses import replace
+
+        spec = replace(get_workload("redis"), memory_boundedness=0.0)
+        ea = ideal_effective_allocation(spec, 2 * MB, 2 * MB, 2.0)
+        assert ea == pytest.approx(0.5)
+
+
+class TestEAModel:
+    @pytest.mark.parametrize("learner", ["random_forest", "tree", "linear"])
+    def test_flat_learners_fit_and_predict(self, small_dataset, learner):
+        train, test = small_dataset.split(0.5, rng=1)
+        m = EAModel(learner=learner, rng=0).fit(train)
+        pred = m.predict_dataset(test)
+        assert pred.shape == (len(test),)
+        assert np.all((pred >= 0.05) & (pred <= 2.0))
+
+    def test_deep_forest_ea_accuracy(self, small_dataset):
+        train, test = small_dataset.split(0.5, rng=2)
+        df = EAModel(learner="deep_forest", rng=0, **FAST_DF).fit(train)
+        err_df = median_ape(df.predict_dataset(test), test.y_ea)
+        # Even the fast test configuration should track EA closely; the
+        # full model-vs-baseline comparison lives in the Fig. 6 bench.
+        assert err_df < 0.10
+
+    def test_concept_features_available(self, small_dataset):
+        train, _ = small_dataset.split(0.5, rng=3)
+        m = EAModel(learner="cascade", rng=0, n_levels=2, forests_per_level=2,
+                    n_estimators=8).fit(train)
+        feats = m.concept_features(train.X_flat, train.traces)
+        assert feats.shape == (len(train), 4)
+
+    def test_concept_features_unsupported_learner(self, small_dataset):
+        train, _ = small_dataset.split(0.5, rng=3)
+        m = EAModel(learner="linear", rng=0).fit(train)
+        with pytest.raises(ValueError):
+            m.concept_features(train.X_flat, train.traces)
+
+    def test_unknown_learner(self):
+        with pytest.raises(ValueError):
+            EAModel(learner="svm")
+
+    def test_unfitted_raises(self, small_dataset):
+        with pytest.raises(RuntimeError):
+            EAModel(learner="linear").predict_dataset(small_dataset)
+
+    def test_empty_dataset_rejected(self):
+        from repro.core import ProfileDataset
+
+        with pytest.raises(ValueError):
+            EAModel(learner="linear").fit(ProfileDataset())
+
+
+class TestResponseTimeModel:
+    def test_deterministic(self):
+        m = ResponseTimeModel(rng=0)
+        a = m.predict_response_time(0.9, 1.0, 2.0, 0.8)
+        b = m.predict_response_time(0.9, 1.0, 2.0, 0.8)
+        assert a == b
+
+    def test_higher_ea_lower_response_time(self):
+        m = ResponseTimeModel(rng=0)
+        lo = m.predict_response_time(0.9, 0.5, 2.0, 0.55)
+        hi = m.predict_response_time(0.9, 0.5, 2.0, 0.95)
+        assert hi.mean < lo.mean
+
+    def test_feedback_fields(self):
+        m = ResponseTimeModel(rng=0)
+        fb = m.simulate(0.9, 1.0, 2.0, 0.9)
+        assert fb.mean_wait >= 0
+        assert 0 <= fb.boost_fraction <= 1
+
+    def test_validation(self):
+        m = ResponseTimeModel(rng=0)
+        with pytest.raises(ValueError):
+            m.simulate(1.2, 1.0, 2.0, 0.9)
+        with pytest.raises(ValueError):
+            m.simulate(0.5, 1.0, 2.0, 0.0)
+        with pytest.raises(ValueError):
+            m.simulate(0.5, 1.0, 2.0, 0.9, mean_service_time=0.0)
+        with pytest.raises(ValueError):
+            ResponseTimeModel(n_servers=0)
+
+    def test_faster_default_service_lowers_response_time(self):
+        """A default allocation above baseline (mean service < 1) gives
+        lower normalized response times at the same utilization."""
+        m = ResponseTimeModel(rng=0)
+        slow = m.predict_response_time(0.8, np.inf, 2.0, 0.5)
+        fast = m.predict_response_time(
+            0.8, np.inf, 2.0, 0.5, mean_service_time=0.8
+        )
+        assert fast.mean < slow.mean
+
+    def test_timeout_reference_is_baseline_clock(self):
+        """Eq. 4's warning is relative to the baseline service time, so
+        the same timeout triggers *more* often when the default service
+        is faster (queries finish sooner relative to the warning)."""
+        m = ResponseTimeModel(rng=0)
+        base = m.simulate(0.9, 1.0, 2.0, 0.9)
+        fast = m.simulate(0.9, 1.0, 2.0, 0.9, mean_service_time=0.8)
+        assert fast.boost_fraction < base.boost_fraction
+
+
+class TestStacModel:
+    def test_predict_rows_accuracy(self, fitted):
+        model, _, test = fitted
+        pred = model.predict_rows(test)
+        # Even the fast configuration should be well under 50% median APE.
+        assert median_ape(pred["rt_mean"], test.y_rt_mean) < 0.5
+        assert pred["ea"].shape == (len(test),)
+
+    def test_predict_condition_structure(self, fitted):
+        model, _, _ = fitted
+        cond = RuntimeCondition(("redis", "social"), (0.9, 0.9), (1.0, 1.0))
+        out = model.predict_condition(cond)
+        assert len(out.summaries) == 2
+        assert out.effective_allocations.shape == (2,)
+        assert all(s.mean > 0 for s in out.summaries)
+
+    def test_predict_condition_sees_timeout_effect(self, fitted):
+        model, _, _ = fitted
+        tight = model.predict_condition(
+            RuntimeCondition(("redis", "social"), (0.9, 0.9), (0.2, 0.2))
+        )
+        never = model.predict_condition(
+            RuntimeCondition(("redis", "social"), (0.9, 0.9), (6.0, 6.0))
+        )
+        # STA with a tight timeout should predict lower response time.
+        assert tight.summaries[0].p95 < never.summaries[0].p95
+
+    def test_empty_rows_rejected(self, fitted):
+        from repro.core import ProfileDataset
+
+        model, _, _ = fitted
+        with pytest.raises(ValueError):
+            model.predict_rows(ProfileDataset())
+
+    def test_bad_iterations(self):
+        with pytest.raises(ValueError):
+            StacModel(n_iterations=0)
+
+
+class TestSloMatching:
+    def test_picks_joint_optimum(self):
+        rt = np.array([[1.0, 5.0], [5.0, 1.0], [1.04, 1.04]])
+        assert slo_matching(rt, tolerance=0.05) == 2
+
+    def test_relaxes_when_no_intersection(self):
+        rt = np.array([[1.0, 2.0], [2.0, 1.0]])
+        idx = slo_matching(rt, tolerance=0.01)
+        assert idx in (0, 1)
+
+    def test_single_service(self):
+        rt = np.array([[3.0], [1.0], [2.0]])
+        assert slo_matching(rt) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            slo_matching(np.zeros((0, 2)))
+        with pytest.raises(ValueError):
+            slo_matching(np.array([[1.0, -1.0]]))
+
+
+class TestPolicySearch:
+    def test_explore_shapes(self, fitted):
+        model, _, _ = fitted
+        combos, rt = explore_timeouts(
+            model, ("redis", "social"), (0.9, 0.9), timeout_grid=(0.5, 2.0)
+        )
+        assert len(combos) == 4
+        assert rt.shape == (4, 2)
+
+    def test_model_driven_policy_from_grid(self, fitted):
+        model, _, _ = fitted
+        pol = model_driven_policy(
+            model, ("redis", "social"), (0.9, 0.9), timeout_grid=(0.5, 2.0)
+        )
+        assert pol.name == "model-driven"
+        assert all(t in (0.5, 2.0) for t in pol.timeouts)
+
+    def test_bad_statistic(self, fitted):
+        model, _, _ = fitted
+        with pytest.raises(ValueError):
+            explore_timeouts(
+                model, ("redis", "social"), (0.9, 0.9), statistic="max"
+            )
+
+    def test_default_grid_is_paperlike(self):
+        assert len(DEFAULT_TIMEOUT_GRID) == 5

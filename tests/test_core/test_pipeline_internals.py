@@ -1,0 +1,98 @@
+"""Unit tests for StacModel internals: gross increase, nominal traces,
+chain-neighbour conventions."""
+
+import numpy as np
+import pytest
+
+from repro.core import StacModel
+from repro.counters.events import COUNTER_NAMES, N_COUNTERS
+from repro.workloads import get_workload
+
+
+@pytest.fixture
+def model():
+    return StacModel(rng=0, trace_ticks=10, sampling_hz=1.0)
+
+
+class TestGrossIncrease:
+    def test_solo_service(self, model):
+        assert model._gross_increase(1, 0) == 1.0
+
+    def test_pair_edges(self, model):
+        # 2 MB private = 1 way, 2 MB shared = 1 way on the e5-2683.
+        assert model._gross_increase(2, 0) == pytest.approx(2.0)
+        assert model._gross_increase(2, 1) == pytest.approx(2.0)
+
+    def test_chain_middle_has_two_regions(self, model):
+        assert model._gross_increase(3, 1) == pytest.approx(3.0)
+        assert model._gross_increase(3, 0) == pytest.approx(2.0)
+        assert model._gross_increase(3, 2) == pytest.approx(2.0)
+
+
+class TestChainNeighbor:
+    def test_conventions(self, model):
+        assert model._chain_neighbor(1, 0) is None
+        assert model._chain_neighbor(2, 0) == 1
+        assert model._chain_neighbor(2, 1) == 0
+        assert model._chain_neighbor(3, 0) == 1
+        assert model._chain_neighbor(3, 1) == 2
+        assert model._chain_neighbor(3, 2) == 1
+
+
+class TestNominalTrace:
+    def test_shape_matches_profiler_convention(self, model):
+        specs = [get_workload("redis"), get_workload("knn")]
+        trace = model._nominal_trace(
+            specs, 0, (0.9, 0.9), np.array([0.5, 0.2])
+        )
+        # Own block + chain-neighbour block, trace_ticks columns.
+        assert trace.shape == (2 * N_COUNTERS, 10)
+
+    def test_solo_trace_single_block(self, model):
+        trace = model._nominal_trace(
+            [get_workload("redis")], 0, (0.9,), np.array([0.5])
+        )
+        assert trace.shape == (N_COUNTERS, 10)
+
+    def test_boost_fraction_reflected_in_ticks(self, model):
+        specs = [get_workload("redis"), get_workload("knn")]
+        boost_row = COUNTER_NAMES.index("boost_active")
+        full = model._nominal_trace(specs, 0, (0.9, 0.9), np.array([1.0, 0.0]))
+        none = model._nominal_trace(specs, 0, (0.9, 0.9), np.array([0.0, 0.0]))
+        assert full[boost_row].mean() == pytest.approx(1.0)
+        assert none[boost_row].mean() == 0.0
+
+    def test_partial_boost_fraction(self, model):
+        specs = [get_workload("redis"), get_workload("knn")]
+        boost_row = COUNTER_NAMES.index("boost_active")
+        half = model._nominal_trace(specs, 0, (0.9, 0.9), np.array([0.5, 0.0]))
+        frac = (half[boost_row] > 0).mean()
+        assert 0.3 <= frac <= 0.7
+
+    def test_partner_boost_lowers_boosted_capacity(self, model):
+        """When the partner also boosts, the target's boosted-tick LLC
+        misses increase (less effective shared capacity)."""
+        specs = [get_workload("redis"), get_workload("spstream")]
+        miss_row = COUNTER_NAMES.index("llc_load_misses")
+        boost_row = COUNTER_NAMES.index("boost_active")
+        alone = model._nominal_trace(specs, 0, (0.9, 0.9), np.array([1.0, 0.0]))
+        contended = model._nominal_trace(
+            specs, 0, (0.9, 0.9), np.array([1.0, 1.0])
+        )
+        assert np.all(alone[boost_row] > 0)
+        assert contended[miss_row].mean() > alone[miss_row].mean()
+
+    def test_default_service_time_scaling(self):
+        """Larger private reservations shorten the default service time."""
+        m2 = StacModel(rng=0, private_mb=2.0)
+        m6 = StacModel(rng=0, private_mb=6.0)
+        spec = get_workload("redis")
+        assert m2._default_service_time(spec) == pytest.approx(1.0)
+        assert m6._default_service_time(spec) < 1.0
+
+    def test_boosted_capacity_chain_middle(self, model):
+        specs = [get_workload("redis"), get_workload("social"), get_workload("knn")]
+        mid = model._boosted_capacity(specs, 1, np.array([0.0, 1.0, 0.0]))
+        edge = model._boosted_capacity(specs, 0, np.array([1.0, 0.0, 0.0]))
+        # The middle service borrows two idle shared regions.
+        assert mid > edge

@@ -1,0 +1,105 @@
+"""Tests for profile vectors, conditions and the dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DYNAMIC_FEATURE_NAMES,
+    ProfileDataset,
+    RuntimeCondition,
+    STATIC_FEATURE_NAMES,
+)
+from repro.core.profile_vec import dynamic_features, static_features
+from repro.workloads import get_workload
+
+
+class TestRuntimeCondition:
+    def test_valid(self):
+        c = RuntimeCondition(
+            workloads=("redis", "social"),
+            utilizations=(0.9, 0.5),
+            timeouts=(1.0, 2.0),
+        )
+        assert c.sampling_hz == 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            RuntimeCondition(("a", "b"), (0.9,), (1.0, 2.0))
+
+    def test_bad_utilization(self):
+        with pytest.raises(ValueError):
+            RuntimeCondition(("a",), (1.5,), (1.0,))
+
+    def test_bad_timeout(self):
+        with pytest.raises(ValueError):
+            RuntimeCondition(("a",), (0.5,), (-1.0,))
+
+    def test_bad_sampling(self):
+        with pytest.raises(ValueError):
+            RuntimeCondition(("a",), (0.5,), (1.0,), sampling_hz=0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RuntimeCondition((), (), ())
+
+
+class TestFeatureVectors:
+    def test_static_shape_matches_names(self):
+        x = static_features(
+            get_workload("redis"), 1.0, 0.9, 2.0, partner=get_workload("bfs"),
+            partner_timeout=2.0, partner_util=0.5, partner_gross=2.0,
+        )
+        assert x.shape == (len(STATIC_FEATURE_NAMES),)
+
+    def test_solo_partner_block_zero(self):
+        x = static_features(get_workload("redis"), 1.0, 0.9, 1.0)
+        half = len(STATIC_FEATURE_NAMES) // 2
+        assert np.all(x[half:] == 0.0)
+
+    def test_infinite_timeout_capped(self):
+        x = static_features(get_workload("redis"), np.inf, 0.9, 2.0)
+        assert np.isfinite(x).all()
+
+    def test_dynamic_shape(self):
+        x = dynamic_features(1.5, 0.2, 0.3, 0.1)
+        assert x.shape == (len(DYNAMIC_FEATURE_NAMES),)
+        assert list(x) == [1.5, 0.2, 0.3, 0.1]
+
+    def test_concurrent_boost_defaults_to_zero(self):
+        assert dynamic_features(1.0, 0.5, 0.0)[3] == 0.0
+
+
+class TestDatasetContainer:
+    def test_columns(self, small_dataset):
+        ds = small_dataset
+        n = len(ds)
+        assert n > 0
+        d = len(STATIC_FEATURE_NAMES) + len(DYNAMIC_FEATURE_NAMES)
+        assert ds.X_flat.shape == (n, d)
+        assert ds.traces.shape[0] == n
+        assert ds.traces.shape[1] == 2 * 29
+        assert ds.y_ea.shape == (n,)
+        assert ds.y_rt_mean.shape == (n,)
+        assert np.all(ds.y_rt_mean > 0)
+
+    def test_split_partitions(self, small_dataset):
+        tr, te = small_dataset.split(0.4, rng=0)
+        assert len(tr) + len(te) == len(small_dataset)
+        assert len(tr) == int(0.4 * len(small_dataset))
+
+    def test_split_validation(self, small_dataset):
+        with pytest.raises(ValueError):
+            small_dataset.split(1.0)
+
+    def test_split_by_condition(self, mixed_pair_dataset):
+        jac, rest = mixed_pair_dataset.split_by_condition(
+            lambda c: "jacobi" in c.workloads
+        )
+        assert len(jac) > 0 and len(rest) > 0
+        assert all("jacobi" in r.condition.workloads for r in jac.rows)
+        assert all("jacobi" not in r.condition.workloads for r in rest.rows)
+
+    def test_subset(self, small_dataset):
+        sub = small_dataset.subset([0, 1])
+        assert len(sub) == 2
+        assert sub.rows[0] is small_dataset.rows[0]

@@ -1,0 +1,85 @@
+"""Tests for the Stage 1 profiler."""
+
+import numpy as np
+import pytest
+
+from repro.core import RuntimeCondition
+from repro.core.profiler import Profiler, ProfilerSettings
+
+
+class TestProfileCampaign:
+    def test_rows_per_condition(self, small_dataset):
+        """Each condition contributes up to n_windows rows per service."""
+        conds = {id(r.condition) for r in small_dataset.rows}
+        assert len(conds) == 8
+        # 8 conditions x 2 services x 4 windows = 64 max (sparse windows skipped)
+        assert 32 <= len(small_dataset) <= 64
+
+    def test_ea_values_physical(self, small_dataset):
+        ea = small_dataset.y_ea
+        assert np.all(ea > 0)
+        assert np.all(ea < 2.0)
+
+    def test_both_services_represented(self, small_dataset):
+        names = {r.service_name for r in small_dataset.rows}
+        assert names == {"redis", "social"}
+
+    def test_traces_padded_to_ticks(self, small_dataset):
+        assert small_dataset.traces.shape[2] == 16
+
+    def test_window_indices_assigned(self, small_dataset):
+        idx = {r.window_idx for r in small_dataset.rows}
+        assert idx <= {0, 1, 2, 3}
+        assert len(idx) > 1
+
+
+class TestProfilerApi:
+    def test_empty_conditions_rejected(self):
+        with pytest.raises(ValueError):
+            Profiler(rng=0).profile([])
+
+    def test_bad_n_jobs(self):
+        with pytest.raises(ValueError):
+            Profiler(n_jobs=0)
+
+    def test_quick_ea_returns_per_service(self):
+        p = Profiler(rng=3)
+        cond = RuntimeCondition(("redis", "knn"), (0.8, 0.8), (0.5, 0.5))
+        eas = p.quick_ea(cond, n_queries=150)
+        assert eas.shape == (2,)
+        assert np.all(np.isfinite(eas))
+
+    def test_parallel_profiling_matches_row_count(self):
+        settings = ProfilerSettings(n_queries=200, n_windows=2, trace_ticks=8)
+        conds = [
+            RuntimeCondition(("jacobi", "bfs"), (0.7, 0.7), (1.0, 1.0)),
+            RuntimeCondition(("jacobi", "bfs"), (0.5, 0.5), (2.0, 2.0)),
+        ]
+        serial = Profiler(settings=settings, n_jobs=1, rng=9).profile(conds)
+        parallel = Profiler(settings=settings, n_jobs=2, rng=9).profile(conds)
+        assert len(serial) == len(parallel)
+        assert np.allclose(serial.y_ea, parallel.y_ea)
+
+    def test_deterministic_given_seed(self):
+        settings = ProfilerSettings(n_queries=150, n_windows=2, trace_ticks=8)
+        cond = [RuntimeCondition(("redis", "knn"), (0.8, 0.8), (0.5, 0.5))]
+        a = Profiler(settings=settings, rng=5).profile(cond)
+        b = Profiler(settings=settings, rng=5).profile(cond)
+        assert np.allclose(a.y_ea, b.y_ea)
+        assert np.allclose(a.traces, b.traces)
+
+
+class TestSignalPresence:
+    def test_timeout_affects_ea(self):
+        """Tight timeouts should produce different EA than no STA at all —
+        the signal Stage 2 must learn."""
+        p = Profiler(rng=11)
+        tight = p.quick_ea(
+            RuntimeCondition(("redis", "social"), (0.9, 0.9), (0.2, 0.2)),
+            n_queries=400,
+        )
+        never = p.quick_ea(
+            RuntimeCondition(("redis", "social"), (0.9, 0.9), (6.0, 6.0)),
+            n_queries=400,
+        )
+        assert tight[0] > never[0]  # redis boosts often -> higher measured EA

@@ -1,0 +1,80 @@
+"""Tests for uniform and stratified condition sampling."""
+
+import numpy as np
+import pytest
+
+from repro.core import stratified_conditions, uniform_conditions
+from repro.core.sampling import TIMEOUT_RANGE, UTIL_RANGE
+
+
+def fake_measure(condition):
+    """Deterministic stand-in for a seed EA measurement: EA falls with
+    both services' timeouts (the rough true trend)."""
+    t = np.asarray(condition.timeouts)
+    return 1.0 / (1.0 + t)
+
+
+class TestUniform:
+    def test_count_and_ranges(self):
+        conds = uniform_conditions(("a", "b"), n=30, rng=0)
+        assert len(conds) == 30
+        for c in conds:
+            assert all(UTIL_RANGE[0] <= u <= UTIL_RANGE[1] for u in c.utilizations)
+            assert all(TIMEOUT_RANGE[0] <= t <= TIMEOUT_RANGE[1] for t in c.timeouts)
+            assert c.workloads == ("a", "b")
+
+    def test_reproducible(self):
+        a = uniform_conditions(("a", "b"), 5, rng=1)
+        b = uniform_conditions(("a", "b"), 5, rng=1)
+        assert [c.timeouts for c in a] == [c.timeouts for c in b]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uniform_conditions(("a",), 0)
+
+
+class TestStratified:
+    def test_count(self):
+        conds = stratified_conditions(
+            ("a", "b"), n=20, measure_ea=fake_measure, n_seeds=6, rng=0
+        )
+        assert len(conds) == 20
+
+    def test_all_seeds_case(self):
+        conds = stratified_conditions(
+            ("a", "b"), n=4, measure_ea=fake_measure, n_seeds=4, rng=0
+        )
+        assert len(conds) == 4
+
+    def test_generated_conditions_in_range(self):
+        conds = stratified_conditions(
+            ("a", "b"), n=25, measure_ea=fake_measure, n_seeds=8, rng=1
+        )
+        for c in conds:
+            assert all(UTIL_RANGE[0] <= u <= UTIL_RANGE[1] for u in c.utilizations)
+            assert all(TIMEOUT_RANGE[0] <= t <= TIMEOUT_RANGE[1] for t in c.timeouts)
+
+    def test_balances_budget_across_ea_clusters(self):
+        """A rare EA regime (small corner of condition space) must get a
+        fair share of the budget, unlike under uniform sampling."""
+
+        def corner_measure(condition):
+            # Distinct EA only when both timeouts are tight — a regime
+            # covering ~14% of the sampled space.
+            rare = all(t < 1.0 for t in condition.timeouts)
+            return np.array([0.9, 0.9]) if rare else np.array([0.5, 0.5])
+
+        n_seeds = 10
+        conds = stratified_conditions(
+            ("a", "b"), n=50, measure_ea=corner_measure, n_seeds=n_seeds,
+            n_clusters=2, rng=3,
+        )
+        generated = conds[n_seeds:]
+        rare_frac = np.mean(
+            [all(t < 1.0 for t in c.timeouts) for c in generated]
+        )
+        assert rare_frac > 0.3  # uniform draws would give ~0.14
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stratified_conditions(("a",), 0, measure_ea=fake_measure)

@@ -1,0 +1,50 @@
+"""Tests for policy-aware anchor conditions."""
+
+import numpy as np
+import pytest
+
+from repro.core.sampling import grid_anchor_conditions
+
+
+class TestGridAnchors:
+    def test_covers_corners(self):
+        conds = grid_anchor_conditions(("a", "b"), 0.9, timeout_grid=(0.0, 1.0, 4.0))
+        vectors = {c.timeouts for c in conds}
+        assert (0.0, 0.0) in vectors
+        assert (4.0, 4.0) in vectors
+        assert (0.0, 4.0) in vectors and (4.0, 0.0) in vectors
+        assert (1.0, 1.0) in vectors  # mid diagonal
+
+    def test_all_at_target_utilization(self):
+        conds = grid_anchor_conditions(("a", "b"), 0.85)
+        assert all(c.utilizations == (0.85, 0.85) for c in conds)
+
+    def test_no_duplicates(self):
+        conds = grid_anchor_conditions(("a", "b"), 0.9)
+        vectors = [c.timeouts for c in conds]
+        assert len(vectors) == len(set(vectors))
+
+    def test_three_service_chain(self):
+        conds = grid_anchor_conditions(("a", "b", "c"), 0.9, timeout_grid=(0.0, 2.0))
+        vectors = {c.timeouts for c in conds}
+        assert (0.0, 0.0, 0.0) in vectors
+        assert (2.0, 2.0, 2.0) in vectors
+        # Each service alone at either extreme.
+        assert (0.0, 2.0, 2.0) in vectors
+        assert (2.0, 0.0, 2.0) in vectors
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            grid_anchor_conditions(("a",), 1.2)
+        with pytest.raises(ValueError):
+            grid_anchor_conditions(("a",), 0.5, timeout_grid=())
+
+    def test_anchors_cover_the_hole_uniform_leaves(self):
+        """The motivating property: anchors include high-concurrency
+        settings (both timeouts 0 at high load) that uniform sampling
+        essentially never draws."""
+        conds = grid_anchor_conditions(("a", "b"), 0.9)
+        assert any(
+            c.timeouts == (0.0, 0.0) and min(c.utilizations) >= 0.9
+            for c in conds
+        )

@@ -1,0 +1,145 @@
+"""Tests for counter sampling over runtime segments and trace assembly."""
+
+import numpy as np
+import pytest
+
+from repro.counters import (
+    COUNTER_NAMES,
+    CacheUsageTrace,
+    CounterSampler,
+    N_COUNTERS,
+    order_counters,
+    sample_service_counters,
+)
+from repro.counters.sampler import _segment_means
+from repro.testbed import (
+    CollocatedService,
+    CollocationConfig,
+    CollocationRuntime,
+    default_machine,
+)
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def run_result():
+    cfg = CollocationConfig(
+        machine=default_machine(),
+        services=[
+            CollocatedService(get_workload("jacobi"), timeout=1.0, utilization=0.9),
+            CollocatedService(get_workload("bfs"), timeout=1.0, utilization=0.9),
+        ],
+    )
+    return CollocationRuntime(cfg, rng=0).run(n_queries=600)
+
+
+class TestSegmentMeans:
+    def test_single_segment(self):
+        segs = [(0.0, 100.0, 1, 0, False)]
+        cap, busy, boost, qlen = _segment_means(segs, 0.0, 2.0, n_servers=2)
+        assert cap == 100.0 and busy == 0.5 and boost == 0.0 and qlen == 0.0
+
+    def test_weighted_average(self):
+        segs = [(0.0, 100.0, 0, 0, False), (1.0, 200.0, 2, 4, True)]
+        cap, busy, boost, qlen = _segment_means(segs, 0.0, 2.0, n_servers=2)
+        assert cap == pytest.approx(150.0)
+        assert busy == pytest.approx(0.5)
+        assert boost == pytest.approx(0.5)
+        assert qlen == pytest.approx(2.0)
+
+    def test_window_starting_mid_segment(self):
+        segs = [(0.0, 100.0, 2, 0, False), (10.0, 300.0, 2, 0, True)]
+        cap, _, boost, _ = _segment_means(segs, 5.0, 15.0, n_servers=2)
+        assert cap == pytest.approx(200.0)
+        assert boost == pytest.approx(0.5)
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            _segment_means([(0.0, 1.0, 0, 0, False)], 1.0, 1.0, 1)
+
+
+class TestSampler:
+    def test_shape_follows_rate(self, run_result):
+        svc = run_result.services[0]
+        spec = get_workload("jacobi")
+        m = default_machine()
+        s1 = CounterSampler(sampling_hz=1.0).sample(svc, spec, m, 0.0, 50.0, rng=1)
+        s5 = CounterSampler(sampling_hz=0.2).sample(svc, spec, m, 0.0, 50.0, rng=1)
+        assert s1.shape == (50, N_COUNTERS)
+        assert s5.shape == (10, N_COUNTERS)
+
+    def test_counters_nonnegative(self, run_result):
+        mat = sample_service_counters(
+            run_result.services[0], get_workload("jacobi"), default_machine(), rng=2
+        )
+        assert np.all(mat >= 0)
+
+    def test_boost_column_reflects_sta(self, run_result):
+        mat = sample_service_counters(
+            run_result.services[0], get_workload("jacobi"), default_machine(),
+            noise=0.0, rng=3
+        )
+        boost_col = mat[:, COUNTER_NAMES.index("boost_active")]
+        assert boost_col.max() > 0  # STA triggered at some point
+
+    def test_validation(self, run_result):
+        with pytest.raises(ValueError):
+            CounterSampler(sampling_hz=0)
+        with pytest.raises(ValueError):
+            CounterSampler(noise=-1)
+        svc = run_result.services[0]
+        with pytest.raises(ValueError):
+            CounterSampler().sample(
+                svc, get_workload("jacobi"), default_machine(), 5.0, 5.0
+            )
+
+
+class TestTrace:
+    def _trace(self, n_ticks=20):
+        a = np.arange(15 * N_COUNTERS, dtype=float).reshape(15, N_COUNTERS)
+        b = np.ones((25, N_COUNTERS))
+        return CacheUsageTrace.from_counters([a, b], ["w1", "w2"], n_ticks=n_ticks)
+
+    def test_padding_and_truncation(self):
+        t = self._trace(n_ticks=20)
+        assert t.data.shape == (2 * N_COUNTERS, 20)
+        # w1 had 15 ticks: columns 15.. are zero padding.
+        assert np.all(t.data[:N_COUNTERS, 15:] == 0)
+        # w2 had 25 ticks: truncated to 20, all ones.
+        assert np.all(t.data[N_COUNTERS:, :] == 1)
+
+    def test_counter_row_lookup(self):
+        t = self._trace()
+        row = t.counter_row(0, "l1d_loads")
+        assert row.shape == (20,)
+
+    def test_flatten_length(self):
+        t = self._trace()
+        assert t.flatten().shape == (2 * N_COUNTERS * 20,)
+
+    def test_shuffled_reorder_permutes_within_service(self):
+        t = self._trace()
+        shuf = t.reorder("shuffled", rng=0)
+        # Same multiset of rows per service block, different order.
+        orig = t.data[:N_COUNTERS]
+        got = shuf.data[:N_COUNTERS]
+        assert not np.array_equal(orig, got)
+        assert np.array_equal(
+            np.sort(orig.sum(axis=1)), np.sort(got.sum(axis=1))
+        )
+
+    def test_spatial_reorder_is_identity(self):
+        t = self._trace()
+        assert np.array_equal(t.reorder("spatial").data, t.data)
+
+    def test_order_counters_validation(self):
+        with pytest.raises(ValueError):
+            order_counters(np.zeros((5, 4)), "spatial")
+        with pytest.raises(ValueError):
+            order_counters(np.zeros((N_COUNTERS, 4)), "sorted")
+
+    def test_mismatched_names_rejected(self):
+        with pytest.raises(ValueError):
+            CacheUsageTrace.from_counters(
+                [np.zeros((5, N_COUNTERS))], ["a", "b"], n_ticks=5
+            )

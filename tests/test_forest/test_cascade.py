@@ -1,0 +1,197 @@
+"""Tests for cascade levels and the deep forest facade."""
+
+import numpy as np
+import pytest
+
+from repro.forest import (
+    CascadeForest,
+    DeepForestRegressor,
+    RandomForestRegressor,
+    cross_fit_predict,
+)
+
+
+def hidden_interaction(n=240, rng=0):
+    """y depends on an interaction of two features — the kind of 'concept'
+    cascades capture (Figure 3)."""
+    r = np.random.default_rng(rng)
+    X = r.uniform(size=(n, 6))
+    y = np.where((X[:, 0] > 0.5) ^ (X[:, 1] > 0.5), 1.0, 0.0)
+    return X, y + r.normal(0, 0.05, n)
+
+
+class TestCrossFit:
+    def test_shape_and_out_of_fold(self):
+        X, y = hidden_interaction(90)
+        pred = cross_fit_predict(
+            lambda: RandomForestRegressor(n_estimators=5, rng=0), X, y, k=3, rng=1
+        )
+        assert pred.shape == (90,)
+
+    def test_no_leakage_vs_insample(self):
+        """Out-of-fold error must be larger than training error on noise."""
+        r = np.random.default_rng(2)
+        X = r.uniform(size=(120, 4))
+        y = r.normal(size=120)  # pure noise
+        oof = cross_fit_predict(
+            lambda: RandomForestRegressor(n_estimators=10, rng=0), X, y, k=3, rng=3
+        )
+        model = RandomForestRegressor(n_estimators=10, rng=0).fit(X, y)
+        insample = model.predict(X)
+        err_oof = np.mean((oof - y) ** 2)
+        err_in = np.mean((insample - y) ** 2)
+        assert err_oof > err_in
+
+    def test_validation(self):
+        X, y = hidden_interaction(10)
+        with pytest.raises(ValueError):
+            cross_fit_predict(lambda: None, X, y, k=1)
+        with pytest.raises(ValueError):
+            cross_fit_predict(lambda: None, X[:2], y[:2], k=3)
+
+
+class TestCascade:
+    def test_fits_interaction(self):
+        X, y = hidden_interaction(300, rng=4)
+        Xt, yt = hidden_interaction(150, rng=5)
+        c = CascadeForest(n_levels=2, forests_per_level=2, n_estimators=15, rng=0)
+        c.fit(X, y)
+        err = np.mean((c.predict(Xt) - yt) ** 2)
+        assert err < np.var(yt) * 0.3
+
+    def test_concept_feature_shape(self):
+        X, y = hidden_interaction(100, rng=6)
+        c = CascadeForest(n_levels=3, forests_per_level=2, n_estimators=5, rng=0)
+        c.fit(X, y)
+        feats = c.concept_features(X[:20])
+        assert feats.shape == (20, 3 * 2)
+
+    def test_concepts_track_target(self):
+        X, y = hidden_interaction(260, rng=7)
+        c = CascadeForest(n_levels=2, forests_per_level=2, n_estimators=15, rng=0)
+        c.fit(X, y)
+        feats = c.concept_features(X)
+        corr = np.corrcoef(feats.mean(axis=1), y)[0, 1]
+        assert corr > 0.6
+
+    def test_unfitted_raises(self):
+        c = CascadeForest()
+        with pytest.raises(RuntimeError):
+            c.predict(np.zeros((1, 3)))
+        with pytest.raises(RuntimeError):
+            c.concept_features(np.zeros((1, 3)))
+
+    def test_reproducible(self):
+        X, y = hidden_interaction(80, rng=8)
+        p1 = (
+            CascadeForest(n_levels=1, forests_per_level=2, n_estimators=4, rng=9)
+            .fit(X, y)
+            .predict(X)
+        )
+        p2 = (
+            CascadeForest(n_levels=1, forests_per_level=2, n_estimators=4, rng=9)
+            .fit(X, y)
+            .predict(X)
+        )
+        assert np.array_equal(p1, p2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CascadeForest(n_levels=0)
+        with pytest.raises(ValueError):
+            CascadeForest(patience=0)
+        with pytest.raises(ValueError):
+            CascadeForest().fit(np.zeros((4, 2)), np.zeros(5))
+
+    def test_level_scores_recorded(self):
+        X, y = hidden_interaction(120, rng=20)
+        c = CascadeForest(n_levels=3, forests_per_level=2, n_estimators=5, rng=0)
+        c.fit(X, y)
+        assert len(c.level_scores_) == 3
+        assert all(s >= 0 for s in c.level_scores_)
+
+    def test_early_stop_truncates_on_noise(self):
+        """On pure noise, added levels cannot help, so early stopping
+        should grow fewer levels than the cap."""
+        r = np.random.default_rng(21)
+        X = r.uniform(size=(90, 4))
+        y = r.normal(size=90)
+        c = CascadeForest(
+            n_levels=6,
+            forests_per_level=2,
+            n_estimators=5,
+            early_stop=True,
+            patience=1,
+            rng=0,
+        )
+        c.fit(X, y)
+        assert len(c._levels) < 6
+        # A truncated cascade must still predict.
+        assert c.predict(X).shape == (90,)
+
+    def test_early_stop_keeps_useful_levels(self):
+        X, y = hidden_interaction(260, rng=22)
+        c = CascadeForest(
+            n_levels=4,
+            forests_per_level=2,
+            n_estimators=15,
+            early_stop=True,
+            patience=1,
+            rng=0,
+        )
+        c.fit(X, y)
+        err = np.mean((c.predict(X) - y) ** 2)
+        assert err < np.var(y) * 0.3
+
+
+class TestDeepForest:
+    def test_flat_only(self):
+        X, y = hidden_interaction(200, rng=10)
+        df = DeepForestRegressor(
+            windows=None, n_levels=1, forests_per_level=2, n_estimators=10, rng=0
+        )
+        df.fit(X, None, y)
+        assert df.predict(X, None).shape == (200,)
+
+    def test_traces_only(self):
+        r = np.random.default_rng(11)
+        traces = r.normal(size=(60, 8, 8))
+        y = traces[:, 2:4, 2:4].mean(axis=(1, 2))
+        df = DeepForestRegressor(
+            windows=[(3, 3)],
+            mgs_estimators=5,
+            n_levels=1,
+            forests_per_level=2,
+            n_estimators=10,
+            rng=0,
+        )
+        df.fit(None, traces, y)
+        pred = df.predict(None, traces)
+        assert np.corrcoef(pred, y)[0, 1] > 0.8
+
+    def test_combined_inputs(self):
+        r = np.random.default_rng(12)
+        X = r.uniform(size=(80, 3))
+        traces = r.normal(size=(80, 6, 6))
+        y = X[:, 0] + traces[:, 1:3, 1:3].mean(axis=(1, 2))
+        df = DeepForestRegressor(
+            windows=[(3, 3)],
+            mgs_estimators=5,
+            n_levels=1,
+            forests_per_level=2,
+            n_estimators=10,
+            rng=0,
+        )
+        df.fit(X, traces, y)
+        assert df.predict(X, traces).shape == (80,)
+        assert df.concept_features(X, traces).shape[0] == 80
+
+    def test_no_inputs_rejected(self):
+        df = DeepForestRegressor(rng=0)
+        with pytest.raises(ValueError):
+            df.fit(None, None, np.zeros(3))
+
+    def test_unfitted_raises(self):
+        df = DeepForestRegressor()
+        with pytest.raises(RuntimeError):
+            df.predict(np.zeros((1, 2)), None)

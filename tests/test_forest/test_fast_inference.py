@@ -1,0 +1,91 @@
+"""Tests for Bolt-style packed forest inference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.forest import (
+    CompletelyRandomForestRegressor,
+    PackedForest,
+    RandomForestRegressor,
+)
+
+
+def fitted_forest(n_estimators=10, n=200, d=5, rng=0, cls=RandomForestRegressor):
+    r = np.random.default_rng(rng)
+    X = r.uniform(size=(n, d))
+    y = np.sin(3 * X[:, 0]) + X[:, 1]
+    return cls(n_estimators=n_estimators, rng=rng).fit(X, y), X
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize(
+        "cls", [RandomForestRegressor, CompletelyRandomForestRegressor]
+    )
+    def test_matches_naive_predictions(self, cls):
+        forest, X = fitted_forest(cls=cls)
+        packed = PackedForest.from_forest(forest)
+        assert np.allclose(packed.predict(X), forest.predict(X))
+
+    def test_per_tree_matches(self):
+        forest, X = fitted_forest(n_estimators=4)
+        packed = PackedForest.from_forest(forest)
+        assert np.allclose(
+            packed.predict_per_tree(X[:20]), forest.predict_per_tree(X[:20])
+        )
+
+    def test_unseen_inputs(self):
+        forest, X = fitted_forest()
+        packed = PackedForest.from_forest(forest)
+        Xt = np.random.default_rng(9).uniform(-2, 3, size=(50, X.shape[1]))
+        assert np.allclose(packed.predict(Xt), forest.predict(Xt))
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(1, 8), st.integers(5, 60), st.integers(0, 10**6))
+    def test_equivalence_property(self, n_trees, n_samples, seed):
+        forest, X = fitted_forest(n_estimators=n_trees, n=60, rng=seed)
+        packed = PackedForest.from_forest(forest)
+        Xt = np.random.default_rng(seed + 1).uniform(size=(n_samples, X.shape[1]))
+        assert np.allclose(packed.predict(Xt), forest.predict(Xt))
+
+
+class TestForestIntegration:
+    def test_predict_dispatches_to_packed_consistently(self):
+        """Small-batch predictions (packed path) must equal large-batch
+        predictions (per-tree path) point for point."""
+        forest, X = fitted_forest(n_estimators=12, n=300)
+        Xt = np.random.default_rng(4).uniform(size=(400, X.shape[1]))
+        big = forest.predict(Xt)  # per-tree path (400 > 256)
+        small = np.concatenate(
+            [forest.predict(Xt[i : i + 100]) for i in range(0, 400, 100)]
+        )
+        assert np.allclose(big, small)
+
+    def test_pack_cached_until_refit(self):
+        forest, X = fitted_forest(n_estimators=8)
+        p1 = forest.pack()
+        assert forest.pack() is p1
+        forest.fit(X, np.zeros(X.shape[0]))
+        assert forest.pack() is not p1
+
+    def test_pack_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestRegressor(n_estimators=2).pack()
+
+
+class TestStructure:
+    def test_node_accounting(self):
+        forest, _ = fitted_forest(n_estimators=6)
+        packed = PackedForest.from_forest(forest)
+        assert packed.n_trees == 6
+        assert packed.n_nodes == sum(t.n_nodes for t in forest.trees_)
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(ValueError):
+            PackedForest.from_forest(RandomForestRegressor(n_estimators=2))
+
+    def test_wrong_width_rejected(self):
+        forest, _ = fitted_forest()
+        packed = PackedForest.from_forest(forest)
+        with pytest.raises(ValueError):
+            packed.predict(np.zeros((3, 2)))

@@ -1,0 +1,57 @@
+"""Tests for impurity-based feature importances."""
+
+import numpy as np
+import pytest
+
+from repro.forest import RandomForestRegressor, RegressionTree
+
+
+def data_with_one_signal(n=300, d=6, signal=2, rng=0):
+    r = np.random.default_rng(rng)
+    X = r.uniform(size=(n, d))
+    y = 3.0 * X[:, signal] + r.normal(0, 0.05, n)
+    return X, y
+
+
+class TestTreeImportances:
+    def test_signal_feature_dominates(self):
+        X, y = data_with_one_signal()
+        t = RegressionTree(max_depth=6, rng=0).fit(X, y)
+        imp = t.feature_importances_
+        assert imp.argmax() == 2
+        assert imp[2] > 0.8
+
+    def test_sums_to_one(self):
+        X, y = data_with_one_signal(rng=1)
+        t = RegressionTree(max_depth=4, rng=0).fit(X, y)
+        assert t.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_single_leaf_all_zero(self):
+        t = RegressionTree().fit(np.zeros((5, 3)), np.ones(5))
+        assert np.all(t.feature_importances_ == 0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            _ = RegressionTree().feature_importances_
+
+
+class TestForestImportances:
+    def test_forest_aggregates(self):
+        X, y = data_with_one_signal(rng=2)
+        f = RandomForestRegressor(n_estimators=20, rng=0).fit(X, y)
+        imp = f.feature_importances_
+        assert imp.shape == (6,)
+        assert imp.argmax() == 2
+        assert imp.sum() == pytest.approx(1.0, abs=0.02)
+
+    def test_two_signals_ranked(self):
+        r = np.random.default_rng(3)
+        X = r.uniform(size=(400, 5))
+        y = 4.0 * X[:, 0] + 1.0 * X[:, 3] + r.normal(0, 0.05, 400)
+        f = RandomForestRegressor(n_estimators=20, rng=0).fit(X, y)
+        imp = f.feature_importances_
+        assert imp[0] > imp[3] > max(imp[1], imp[2], imp[4])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            _ = RandomForestRegressor(n_estimators=2).feature_importances_

@@ -1,0 +1,96 @@
+"""Tests for multi-grained scanning."""
+
+import numpy as np
+import pytest
+
+from repro.forest import MultiGrainScanner, sliding_windows
+
+
+def traces_with_signal(n=60, H=12, W=10, rng=0):
+    """Traces where a bright patch's intensity determines the target."""
+    r = np.random.default_rng(rng)
+    t = r.normal(0, 0.1, size=(n, H, W))
+    y = r.uniform(0, 1, size=n)
+    for i in range(n):
+        t[i, 3:6, 2:5] += y[i]  # spatially localized signal
+    return t, y
+
+
+class TestSlidingWindows:
+    def test_figure4_counts(self):
+        """Figure 4's example: 29x20 trace, 5x5 window -> 25x16=400 windows."""
+        t = np.zeros((2, 29, 20))
+        out = sliding_windows(t, (5, 5))
+        assert out.shape == (2, 400, 25)
+
+    def test_full_window_single_position(self):
+        t = np.arange(24, dtype=float).reshape(1, 4, 6)
+        out = sliding_windows(t, (4, 6))
+        assert out.shape == (1, 1, 24)
+        assert np.array_equal(out[0, 0], t[0].ravel())
+
+    def test_window_content_correct(self):
+        t = np.arange(12, dtype=float).reshape(1, 3, 4)
+        out = sliding_windows(t, (2, 2))
+        # First window: rows 0-1, cols 0-1.
+        assert np.array_equal(out[0, 0], [0, 1, 4, 5])
+
+    def test_oversized_window_rejected(self):
+        with pytest.raises(ValueError):
+            sliding_windows(np.zeros((1, 3, 3)), (4, 2))
+
+    def test_wrong_ndim_rejected(self):
+        with pytest.raises(ValueError):
+            sliding_windows(np.zeros((3, 3)), (2, 2))
+
+
+class TestScanner:
+    def test_transform_shape(self):
+        t, y = traces_with_signal()
+        sc = MultiGrainScanner(
+            windows=[(3, 3), (5, 5)], n_estimators=5, rng=0
+        ).fit(t, y)
+        feats = sc.transform(t)
+        expect = (12 - 3 + 1) * (10 - 3 + 1) + (12 - 5 + 1) * (10 - 5 + 1)
+        assert feats.shape == (60, expect)
+        assert sc.n_features() == expect
+
+    def test_learns_localized_signal(self):
+        t, y = traces_with_signal(n=80, rng=1)
+        t_test, y_test = traces_with_signal(n=40, rng=2)
+        sc = MultiGrainScanner(windows=[(3, 3)], n_estimators=10, rng=0).fit(t, y)
+        feats = sc.transform(t_test)
+        # Averaging features over the signal-bearing positions should
+        # correlate strongly with the target.
+        corr = np.corrcoef(feats.mean(axis=1), y_test)[0, 1]
+        assert corr > 0.7
+
+    def test_max_instances_subsampling(self):
+        t, y = traces_with_signal(n=40)
+        sc = MultiGrainScanner(
+            windows=[(3, 3)], n_estimators=3, max_instances=100, rng=0
+        )
+        sc.fit(t, y)  # should not blow up despite 40*80=3200 instances
+        assert sc.transform(t).shape[0] == 40
+
+    def test_shape_mismatch_on_transform(self):
+        t, y = traces_with_signal(n=20)
+        sc = MultiGrainScanner(windows=[(3, 3)], n_estimators=2, rng=0).fit(t, y)
+        with pytest.raises(ValueError):
+            sc.transform(np.zeros((5, 9, 9)))
+
+    def test_unfitted_raises(self):
+        sc = MultiGrainScanner(windows=[(3, 3)])
+        with pytest.raises(RuntimeError):
+            sc.transform(np.zeros((1, 5, 5)))
+        with pytest.raises(RuntimeError):
+            sc.n_features()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiGrainScanner(windows=[])
+        with pytest.raises(ValueError):
+            MultiGrainScanner(n_estimators=0)
+        t, y = traces_with_signal(n=10)
+        with pytest.raises(ValueError):
+            MultiGrainScanner(windows=[(3, 3)]).fit(t, y[:5])

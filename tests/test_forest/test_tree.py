@@ -1,0 +1,139 @@
+"""Tests for the vectorized CART regression tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.forest import RegressionTree
+
+
+def toy_step(n=200, rng=0):
+    r = np.random.default_rng(rng)
+    X = r.uniform(0, 1, size=(n, 3))
+    y = np.where(X[:, 1] > 0.5, 2.0, -1.0)
+    return X, y
+
+
+class TestFitting:
+    def test_perfect_fit_on_step(self):
+        X, y = toy_step()
+        t = RegressionTree(rng=0).fit(X, y)
+        assert np.allclose(t.predict(X), y)
+
+    def test_single_sample(self):
+        t = RegressionTree().fit([[1.0]], [3.0])
+        assert t.predict([[99.0]]) == pytest.approx(3.0)
+
+    def test_constant_target_single_leaf(self):
+        X = np.random.default_rng(1).uniform(size=(50, 4))
+        t = RegressionTree().fit(X, np.full(50, 7.0))
+        assert t.n_nodes == 1
+        assert np.allclose(t.predict(X), 7.0)
+
+    def test_max_depth_respected(self):
+        X, y = toy_step(400, rng=2)
+        y = y + np.random.default_rng(3).normal(0, 0.5, size=400)
+        t = RegressionTree(max_depth=3, rng=0).fit(X, y)
+        assert t.depth <= 3
+
+    def test_min_samples_leaf_respected(self):
+        X, y = toy_step(100, rng=4)
+        t = RegressionTree(min_samples_leaf=20, rng=0).fit(X, y)
+        # Leaf predictions are means over >= 20 samples: at most 5 leaves.
+        assert len(np.unique(t.predict(X))) <= 5
+
+    def test_prediction_is_leaf_mean(self):
+        X = np.array([[0.0], [0.0], [1.0], [1.0]])
+        y = np.array([1.0, 3.0, 10.0, 20.0])
+        t = RegressionTree(min_samples_leaf=2).fit(X, y)
+        pred = t.predict(np.array([[0.0], [1.0]]))
+        assert pred[0] == pytest.approx(2.0)
+        assert pred[1] == pytest.approx(15.0)
+
+    def test_random_splitter_fits_pure(self):
+        X, y = toy_step(300, rng=5)
+        t = RegressionTree(splitter="random", rng=6).fit(X, y)
+        # Completely-random trees grow until pure leaves.
+        assert np.allclose(t.predict(X), y)
+
+    def test_deterministic_given_seed(self):
+        X, y = toy_step(150, rng=7)
+        y = y + np.random.default_rng(8).normal(0, 0.3, 150)
+        p1 = RegressionTree(splitter="random", rng=42).fit(X, y).predict(X)
+        p2 = RegressionTree(splitter="random", rng=42).fit(X, y).predict(X)
+        assert np.array_equal(p1, p2)
+
+
+class TestSplitQuality:
+    def test_picks_informative_feature(self):
+        r = np.random.default_rng(9)
+        X = r.uniform(size=(300, 5))
+        y = 5.0 * (X[:, 3] > 0.4)  # only feature 3 matters
+        t = RegressionTree(max_depth=1, rng=0).fit(X, y)
+        assert t._feature[0] == 3
+        assert t._threshold[0] == pytest.approx(0.4, abs=0.05)
+
+    def test_max_features_sqrt(self):
+        t = RegressionTree(max_features="sqrt")
+        assert t._n_candidate_features(16) == 4
+        assert t._n_candidate_features(1) == 1
+
+    def test_max_features_int(self):
+        t = RegressionTree(max_features=3)
+        assert t._n_candidate_features(10) == 3
+        assert t._n_candidate_features(2) == 2
+
+    def test_bad_max_features(self):
+        t = RegressionTree(max_features=0)
+        with pytest.raises(ValueError):
+            t._n_candidate_features(4)
+
+
+class TestValidation:
+    def test_bad_splitter(self):
+        with pytest.raises(ValueError):
+            RegressionTree(splitter="greedy")
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            RegressionTree(min_samples_leaf=0)
+        with pytest.raises(ValueError):
+            RegressionTree(max_depth=0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_empty_data(self):
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_predict_wrong_width(self):
+        t = RegressionTree().fit([[1.0, 2.0]], [1.0])
+        with pytest.raises(ValueError):
+            t.predict([[1.0]])
+
+
+class TestProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(2, 60), st.integers(1, 4), st.integers(0, 10**6))
+    def test_predictions_within_target_range(self, n, d, seed):
+        """Tree predictions are convex combinations of training targets."""
+        r = np.random.default_rng(seed)
+        X = r.normal(size=(n, d))
+        y = r.normal(size=n)
+        t = RegressionTree(rng=seed).fit(X, y)
+        pred = t.predict(r.normal(size=(20, d)))
+        assert pred.min() >= y.min() - 1e-9
+        assert pred.max() <= y.max() + 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(5, 40), st.integers(0, 10**6))
+    def test_train_fit_reduces_error_vs_mean(self, n, seed):
+        r = np.random.default_rng(seed)
+        X = r.uniform(size=(n, 2))
+        y = X[:, 0] * 3 + r.normal(0, 0.01, n)
+        t = RegressionTree(min_samples_leaf=1, rng=seed).fit(X, y)
+        tree_err = np.mean((t.predict(X) - y) ** 2)
+        mean_err = np.var(y)
+        assert tree_err <= mean_err + 1e-12

@@ -1,0 +1,115 @@
+"""Tests for the online management layer."""
+
+import numpy as np
+import pytest
+
+from repro import Profiler, StacModel, uniform_conditions
+from repro.core.profiler import ProfilerSettings
+from repro.manager import (
+    AdaptiveTimeoutController,
+    EpochResult,
+    LoadScenario,
+    OnlineManager,
+)
+
+PAIR = ("redis", "knn")
+FAST = dict(
+    windows=[(5, 5)],
+    mgs_estimators=5,
+    mgs_max_instances=2000,
+    n_levels=1,
+    forests_per_level=2,
+    n_estimators=10,
+)
+
+
+@pytest.fixture(scope="module")
+def controller():
+    conditions = uniform_conditions(PAIR, n=6, rng=0)
+    profiler = Profiler(
+        settings=ProfilerSettings(n_queries=300, n_windows=3, trace_ticks=12),
+        rng=0,
+    )
+    model = StacModel(rng=0, **FAST).fit(profiler.profile(conditions))
+    return AdaptiveTimeoutController(
+        model=model, workloads=PAIR, timeout_grid=(0.0, 1.0, 4.0)
+    )
+
+
+class TestLoadScenario:
+    def test_ramp(self):
+        s = LoadScenario.ramp(2, 0.4, 0.9, 6)
+        assert s.n_epochs == 6 and s.n_services == 2
+        assert s.epochs[0][0] == pytest.approx(0.4)
+        assert s.epochs[-1][0] == pytest.approx(0.9)
+
+    def test_diurnal_peaks_mid(self):
+        s = LoadScenario.diurnal(2, 0.3, 0.9, 7)
+        mids = [e[0] for e in s.epochs]
+        assert max(mids) == mids[3]
+        assert mids[0] == pytest.approx(0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadScenario(())
+        with pytest.raises(ValueError):
+            LoadScenario(((0.5, 0.5), (0.6,)))
+        with pytest.raises(ValueError):
+            LoadScenario(((1.5, 0.5),))
+        with pytest.raises(ValueError):
+            LoadScenario.ramp(2, 0.3, 0.9, 0)
+
+
+class TestController:
+    def test_recommend_shape(self, controller):
+        plan = controller.recommend((0.9, 0.9))
+        assert plan.name == "adaptive"
+        assert len(plan.timeouts) == 2
+        assert all(t in (0.0, 1.0, 4.0) for t in plan.timeouts)
+
+    def test_plan_caching(self, controller):
+        before = controller.plans_computed
+        a = controller.recommend((0.71, 0.71))
+        b = controller.recommend((0.72, 0.72))  # same 0.05 quantum bucket
+        assert a is b
+        assert controller.plans_computed == before + 1
+
+    def test_distinct_loads_distinct_plans(self, controller):
+        controller.recommend((0.3, 0.3))
+        n = controller.plans_computed
+        controller.recommend((0.55, 0.55))  # different quantum bucket
+        assert controller.plans_computed == n + 1
+
+    def test_validation(self, controller):
+        with pytest.raises(ValueError):
+            controller.recommend((0.9,))
+        with pytest.raises(ValueError):
+            AdaptiveTimeoutController(
+                model=controller.model, workloads=PAIR, utilization_quantum=0.0
+            )
+
+
+class TestOnlineManager:
+    def test_epoch_results_structure(self, controller):
+        manager = OnlineManager(controller, n_queries=300, rng=1)
+        scenario = LoadScenario.ramp(2, 0.5, 0.9, 3)
+        results = manager.run(scenario, adapt=True)
+        assert len(results) == 3
+        assert all(isinstance(r, EpochResult) for r in results)
+        assert results[0].utilizations == (0.5, 0.5)
+        assert results[0].p95.shape == (2,)
+
+    def test_static_mode_keeps_first_plan(self, controller):
+        manager = OnlineManager(controller, n_queries=300, rng=2)
+        scenario = LoadScenario.ramp(2, 0.4, 0.9, 3)
+        results = manager.run(scenario, adapt=False)
+        assert len({r.timeouts for r in results}) == 1
+
+    def test_width_mismatch(self, controller):
+        manager = OnlineManager(controller, n_queries=300, rng=3)
+        with pytest.raises(ValueError):
+            manager.run(LoadScenario.ramp(3, 0.4, 0.8, 2))
+
+    def test_bad_queries(self, controller):
+        with pytest.raises(ValueError):
+            OnlineManager(controller, n_queries=5)

@@ -1,0 +1,77 @@
+"""Tests for service/arrival distributions."""
+
+import numpy as np
+import pytest
+
+from repro.queueing import (
+    Deterministic,
+    Empirical,
+    Exponential,
+    Hyperexponential,
+    LogNormal,
+)
+
+ALL_DISTS = [
+    Deterministic(2.0),
+    Exponential(2.0),
+    LogNormal(2.0, 0.7),
+    Hyperexponential(0.9, 1.0, 11.0),
+    Empirical((1.0, 2.0, 3.0)),
+]
+
+
+class TestMoments:
+    @pytest.mark.parametrize("dist", ALL_DISTS, ids=lambda d: type(d).__name__)
+    def test_sample_mean_matches_declared(self, dist):
+        x = dist.sample(60000, rng=0)
+        assert x.mean() == pytest.approx(dist.mean(), rel=0.05)
+
+    @pytest.mark.parametrize("dist", ALL_DISTS, ids=lambda d: type(d).__name__)
+    def test_sample_cv_matches_declared(self, dist):
+        x = dist.sample(120000, rng=1)
+        if dist.cv() == 0:
+            assert x.std() == 0
+        else:
+            assert x.std() / x.mean() == pytest.approx(dist.cv(), rel=0.12)
+
+    @pytest.mark.parametrize("dist", ALL_DISTS, ids=lambda d: type(d).__name__)
+    def test_samples_positive(self, dist):
+        assert np.all(dist.sample(1000, rng=2) > 0)
+
+
+class TestSpecifics:
+    def test_exponential_cv_is_one(self):
+        assert Exponential(5.0).cv() == 1.0
+
+    def test_hyperexponential_cv_above_one(self):
+        assert Hyperexponential(0.9, 1.0, 11.0).cv() > 1.0
+
+    def test_empirical_resamples_only_observed(self):
+        e = Empirical((1.0, 5.0))
+        assert set(np.unique(e.sample(200, rng=3))) <= {1.0, 5.0}
+
+    def test_empirical_from_array(self):
+        e = Empirical.from_array(np.array([2.0, 4.0]))
+        assert e.mean() == 3.0
+
+
+class TestValidation:
+    def test_deterministic_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Deterministic(0.0)
+
+    def test_lognormal_rejects_zero_cv(self):
+        with pytest.raises(ValueError):
+            LogNormal(1.0, 0.0)
+
+    def test_hyperexp_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            Hyperexponential(1.0, 1.0, 2.0)
+
+    def test_empirical_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Empirical(())
+
+    def test_empirical_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Empirical((1.0, -2.0))

@@ -1,0 +1,87 @@
+"""Tests for the chain collocation layout."""
+
+import numpy as np
+import pytest
+
+from repro.cache import WayMask
+from repro.testbed import CollocatedService, CollocationConfig, default_machine, get_machine
+from repro.workloads import get_workload
+
+
+def make_config(names=("jacobi", "bfs"), timeouts=None, machine=None, **kw):
+    timeouts = timeouts or [1.5] * len(names)
+    return CollocationConfig(
+        machine=machine or default_machine(),
+        services=[
+            CollocatedService(get_workload(n), timeout=t)
+            for n, t in zip(names, timeouts)
+        ],
+        **kw,
+    )
+
+
+class TestCollocatedService:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CollocatedService(get_workload("bfs"), timeout=-1)
+        with pytest.raises(ValueError):
+            CollocatedService(get_workload("bfs"), timeout=1.0, utilization=1.5)
+
+    def test_infinite_timeout_allowed(self):
+        svc = CollocatedService(get_workload("bfs"), timeout=np.inf)
+        assert np.isinf(svc.timeout)
+
+
+class TestLayout:
+    def test_paper_example_way_indices(self):
+        """Section 5's example: pairwise private + 2 shared ways between."""
+        cfg = make_config(("jacobi", "bfs"))
+        pols = cfg.policies()
+        # 2 MB = 1 way on the E5-2683; jacobi gets way 0, shared way 1,
+        # bfs way 2.
+        assert pols[0].default == WayMask(0, 1)
+        assert pols[0].boost == WayMask(0, 2)
+        assert pols[1].default == WayMask(2, 1)
+        assert pols[1].boost == WayMask(1, 2)
+
+    def test_three_service_chain(self):
+        cfg = make_config(("jacobi", "bfs", "redis"), timeouts=[1.0, 1.0, 1.0])
+        pols = cfg.policies()
+        # Middle service may share on both sides; masks stay contiguous.
+        assert pols[1].boost.covers(pols[1].default)
+        cfg.validate_conjectures()
+
+    def test_conjectures_validated(self):
+        make_config().validate_conjectures()
+
+    def test_gross_increase(self):
+        cfg = make_config()
+        assert cfg.gross_increase(0) == pytest.approx(2.0)
+
+    def test_shared_regions(self):
+        cfg = make_config(("jacobi", "bfs", "redis"))
+        assert cfg.shared_regions() == [(0, 1), (1, 2)]
+
+    def test_private_and_shared_bytes(self):
+        cfg = make_config(private_mb=2.0, shared_mb=2.0)
+        assert cfg.private_bytes == pytest.approx(2 * 1024 * 1024)
+        assert cfg.shared_bytes == pytest.approx(2 * 1024 * 1024)
+
+    def test_too_many_services_for_cores(self):
+        names = ["jacobi"] * 9  # e5-2683 hosts at most 8 two-core services
+        with pytest.raises(ValueError, match="cores"):
+            make_config(tuple(names))
+
+    def test_too_many_ways_needed(self):
+        with pytest.raises(ValueError, match="ways"):
+            make_config(("jacobi", "bfs"), machine=get_machine("e5-2620"),
+                        private_mb=8.0, shared_mb=8.0)
+
+    def test_controller_registration(self):
+        ctl = make_config().controller()
+        assert set(ctl.workloads) == {"jacobi", "bfs"}
+
+    def test_single_service_no_sharing(self):
+        cfg = make_config(("redis",), timeouts=[1.0])
+        assert cfg.shared_regions() == []
+        assert cfg.gross_increase(0) == 1.0

@@ -1,0 +1,93 @@
+"""Tests for the proxy service state machine."""
+
+import pytest
+
+from repro.testbed import ProxyService
+from repro.testbed.proxy import QueryRecord
+
+
+def q(qid=0, arrival=0.0, work=1.0):
+    return QueryRecord(qid=qid, arrival=arrival, work=work)
+
+
+class TestQueueing:
+    def test_fcfs_dispatch(self):
+        p = ProxyService("s", n_servers=1, warning_delay=5.0)
+        a, b = q(0), q(1)
+        p.enqueue(a)
+        p.enqueue(b)
+        assert p.next_dispatch() is a
+        p.start_query(a, now=0.0)
+        assert p.next_dispatch() is None  # server busy
+        p.finish_query(a, now=1.0)
+        assert p.next_dispatch() is b
+
+    def test_multiple_servers(self):
+        p = ProxyService("s", n_servers=2, warning_delay=5.0)
+        for i in range(3):
+            p.enqueue(q(i))
+        p.start_query(p.next_dispatch(), 0.0)
+        p.start_query(p.next_dispatch(), 0.0)
+        assert p.servers_free == 0
+        assert p.next_dispatch() is None
+        assert p.queue_length == 1
+
+    def test_completed_recorded(self):
+        p = ProxyService("s", n_servers=1, warning_delay=1.0)
+        a = q()
+        p.enqueue(a)
+        p.start_query(p.next_dispatch(), 0.0)
+        p.finish_query(a, 2.0)
+        assert a.completed and a.completion == 2.0
+        assert p.completed == [a]
+
+
+class TestBoostStateMachine:
+    def test_not_boosted_initially(self):
+        assert not ProxyService("s", 1, 1.0).boosted
+
+    def test_mark_overdue_flips_once(self):
+        p = ProxyService("s", 2, 1.0)
+        a, b = q(0), q(1)
+        p.enqueue(a)
+        p.enqueue(b)
+        assert p.mark_overdue(a) is True  # flipped on
+        assert p.boosted
+        assert p.mark_overdue(b) is False  # already boosted
+        assert p.mark_overdue(a) is False  # idempotent per query
+
+    def test_boost_clears_when_all_overdue_complete(self):
+        p = ProxyService("s", 2, 1.0)
+        a, b = q(0), q(1)
+        for x in (a, b):
+            p.enqueue(x)
+            p.start_query(p.next_dispatch(), 0.0)
+        p.mark_overdue(a)
+        p.mark_overdue(b)
+        p.finish_query(a, 1.0)
+        assert p.boosted  # b still overdue
+        p.finish_query(b, 2.0)
+        assert not p.boosted
+
+    def test_overdue_on_completed_query_ignored(self):
+        p = ProxyService("s", 1, 1.0)
+        a = q()
+        p.enqueue(a)
+        p.start_query(p.next_dispatch(), 0.0)
+        p.finish_query(a, 0.5)
+        assert p.mark_overdue(a) is False
+        assert not p.boosted
+
+    def test_warning_time(self):
+        p = ProxyService("s", 1, warning_delay=1.5)
+        assert p.warning_time(q(arrival=2.0)) == 3.5
+
+
+class TestValidation:
+    def test_bad_servers(self):
+        with pytest.raises(ValueError):
+            ProxyService("s", 0, 1.0)
+
+    def test_bad_warning(self):
+        with pytest.raises(ValueError):
+            ProxyService("s", 1, -1.0)

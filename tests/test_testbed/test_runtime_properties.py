@@ -1,0 +1,106 @@
+"""Property-based invariants of the collocated runtime."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.testbed import (
+    CollocatedService,
+    CollocationConfig,
+    CollocationRuntime,
+    default_machine,
+)
+from repro.workloads import get_workload
+
+NAMES = ("jacobi", "bfs", "redis", "knn", "social", "spstream")
+
+
+def run_random_pair(rng_seed, names, timeouts, utils, n_queries=250):
+    cfg = CollocationConfig(
+        machine=default_machine(),
+        services=[
+            CollocatedService(get_workload(n), timeout=t, utilization=u)
+            for n, t, u in zip(names, timeouts, utils)
+        ],
+    )
+    return CollocationRuntime(cfg, rng=rng_seed).run(
+        n_queries=n_queries, warmup_fraction=0.0
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(0, 10**6),
+    st.sampled_from(NAMES),
+    st.sampled_from(NAMES),
+    st.floats(0.0, 5.0),
+    st.floats(0.0, 5.0),
+    st.floats(0.3, 0.93),
+)
+def test_runtime_invariants(seed, a, b, t1, t2, util):
+    if a == b:
+        return
+    res = run_random_pair(seed, (a, b), (t1, t2), (util, util))
+    for s in res.services:
+        # Everything completes and in causal order.
+        assert s.n_queries == 250
+        assert np.all(s.start_times >= s.arrival_times - 1e-9)
+        assert np.all(s.completion_times >= s.start_times - 1e-9)
+        # Work conservation: the runtime can only *speed up* execution
+        # relative to the baseline rate, never slow it below baseline
+        # (private ways guarantee baseline performance).
+        durations = s.service_durations_norm
+        assert np.all(durations <= s.demands + 1e-6)
+        # Boosted time is bounded by the service duration.
+        assert np.all(s.boosted_time <= durations + 1e-9)
+        # EA bounded by its physical range.
+        ea = s.effective_allocation()
+        assert 1.0 / s.gross_increase - 1e-6 <= ea <= 1.0 + 1e-6
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10**6), st.floats(0.3, 0.9))
+def test_baseline_unaffected_by_partner_boosting(seed, util):
+    """Private ways protect baseline performance: a never-boosting
+    service's service *durations* are the same whether or not its
+    partner boosts aggressively (only queueing could differ, and the
+    queue is private per service too)."""
+    quiet = run_random_pair(
+        seed, ("knn", "redis"), (math.inf, math.inf), (util, util)
+    )
+    noisy = run_random_pair(
+        seed, ("knn", "redis"), (math.inf, 0.1), (util, util)
+    )
+    d_quiet = quiet.service("knn").service_durations_norm
+    d_noisy = noisy.service("knn").service_durations_norm
+    assert np.allclose(d_quiet, d_noisy)
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(0, 10**6))
+def test_mmpp_arrivals_supported(seed):
+    cfg = CollocationConfig(
+        machine=default_machine(),
+        services=[
+            CollocatedService(
+                get_workload("redis"),
+                timeout=1.0,
+                utilization=0.7,
+                arrival_process="mmpp",
+                burst_factor=3.0,
+                burst_fraction=0.2,
+            ),
+            CollocatedService(get_workload("knn"), timeout=1.0, utilization=0.7),
+        ],
+    )
+    res = CollocationRuntime(cfg, rng=seed).run(n_queries=200)
+    assert res.service("redis").n_queries > 0
+
+
+def test_bad_arrival_process_rejected():
+    with pytest.raises(ValueError, match="arrival_process"):
+        CollocatedService(
+            get_workload("redis"), timeout=1.0, arrival_process="pareto"
+        )

@@ -1,0 +1,74 @@
+"""Tests for MRC calibration against the set-associative substrate."""
+
+import numpy as np
+import pytest
+
+from repro.cache import CacheGeometry
+from repro.workloads import get_workload
+from repro.workloads.calibrate import (
+    calibrate_suite,
+    calibrate_workload,
+    recalibrated_spec,
+)
+from repro.workloads.base import MB
+
+
+class TestCalibration:
+    def test_report_fields(self):
+        rep = calibrate_workload(get_workload("bfs"), rng=0)
+        assert rep.workload == "bfs"
+        assert rep.capacities.shape == rep.measured_miss_ratios.shape
+        assert 0 <= rep.fitted.m_inf <= rep.fitted.m0 <= 1
+
+    def test_fit_tracks_measurement(self):
+        rep = calibrate_workload(get_workload("redis"), rng=1)
+        assert rep.max_fit_residual() < 0.15
+
+    def test_high_reuse_vs_streaming_shapes(self):
+        """The stream kinds reproduce Table 1's ordering on real cache
+        simulation, not just in the declared parameters."""
+        loop = calibrate_workload(get_workload("knn"), rng=2)
+        stream = calibrate_workload(get_workload("spstream"), rng=2)
+        biggest = loop.capacities.max()
+        assert loop.fitted.miss_ratio(biggest) < stream.fitted.miss_ratio(biggest)
+        # Streaming barely benefits from capacity.
+        drop_stream = stream.measured_miss_ratios[0] - stream.measured_miss_ratios[-1]
+        drop_loop = loop.measured_miss_ratios[0] - loop.measured_miss_ratios[-1]
+        assert drop_loop > drop_stream
+
+    def test_suite_calibration(self):
+        reps = calibrate_suite(
+            [get_workload("knn"), get_workload("bfs")], rng=3
+        )
+        assert set(reps) == {"knn", "bfs"}
+
+    def test_custom_geometry(self):
+        g = CacheGeometry(n_sets=32, n_ways=8)
+        rep = calibrate_workload(get_workload("bfs"), geometry=g, rng=4)
+        assert rep.capacities.max() == g.size_bytes
+
+
+class TestRecalibration:
+    def test_footprint_rescaled(self):
+        spec = get_workload("bfs")
+        rep = calibrate_workload(spec, rng=5)
+        new = recalibrated_spec(spec, rep, scale_to=10 * MB)
+        factor = 10 * MB / rep.capacities.max()
+        assert new.mrc.footprint_bytes == pytest.approx(
+            rep.fitted.footprint_bytes * factor
+        )
+        assert new.mrc.m0 == rep.fitted.m0
+        # Original spec untouched.
+        assert spec.mrc is not new.mrc
+
+    def test_recalibrated_spec_usable(self):
+        spec = get_workload("knn")
+        rep = calibrate_workload(spec, rng=6)
+        new = recalibrated_spec(spec, rep, scale_to=4 * MB)
+        assert new.service_time(8 * MB) <= new.service_time(0.5 * MB)
+
+    def test_bad_scale(self):
+        spec = get_workload("knn")
+        rep = calibrate_workload(spec, rng=7)
+        with pytest.raises(ValueError):
+            recalibrated_spec(spec, rep, scale_to=0)

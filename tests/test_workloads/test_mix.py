@@ -1,0 +1,120 @@
+"""Tests for query mixes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads import (
+    QueryClass,
+    QueryMix,
+    SPARK_TASK_MIX,
+    YCSB_SESSION_MIX,
+    get_workload,
+)
+
+
+def simple_mix(cv=0.0):
+    return QueryMix(
+        classes=(
+            QueryClass("fast", weight=3.0, demand_scale=1.0, cv=cv),
+            QueryClass("slow", weight=1.0, demand_scale=5.0, cv=cv),
+        )
+    )
+
+
+class TestQueryMix:
+    def test_weights_normalized(self):
+        m = simple_mix()
+        assert np.allclose(m.weights, [0.75, 0.25])
+
+    def test_overall_mean_one(self):
+        m = simple_mix(cv=0.3)
+        d, _ = m.sample_demands(60000, rng=0)
+        assert d.mean() == pytest.approx(1.0, rel=0.03)
+
+    def test_class_separation(self):
+        m = simple_mix(cv=0.0)
+        d, labels = m.sample_demands(1000, rng=1)
+        norm = m.mean_scale
+        assert np.allclose(d[labels == 0], 1.0 / norm)
+        assert np.allclose(d[labels == 1], 5.0 / norm)
+
+    def test_effective_cv_matches_samples(self):
+        m = simple_mix(cv=0.4)
+        d, _ = m.sample_demands(120000, rng=2)
+        assert d.std() / d.mean() == pytest.approx(m.effective_cv(), rel=0.05)
+
+    def test_label_frequencies(self):
+        m = simple_mix()
+        _, labels = m.sample_demands(40000, rng=3)
+        assert np.mean(labels == 0) == pytest.approx(0.75, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueryMix(classes=())
+        with pytest.raises(ValueError):
+            QueryMix(
+                classes=(
+                    QueryClass("a", 1.0, 1.0),
+                    QueryClass("a", 1.0, 2.0),
+                )
+            )
+        with pytest.raises(ValueError):
+            QueryClass("a", weight=0.0, demand_scale=1.0)
+        with pytest.raises(ValueError):
+            QueryClass("a", weight=1.0, demand_scale=1.0, cv=-1)
+
+    @settings(max_examples=25)
+    @given(st.floats(0.1, 5.0), st.floats(0.1, 5.0), st.floats(0.1, 0.9))
+    def test_mean_one_property(self, s1, s2, w):
+        m = QueryMix(
+            classes=(
+                QueryClass("a", weight=w, demand_scale=s1, cv=0.2),
+                QueryClass("b", weight=1 - w, demand_scale=s2, cv=0.2),
+            )
+        )
+        d, _ = m.sample_demands(30000, rng=5)
+        assert d.mean() == pytest.approx(1.0, rel=0.1)
+
+
+class TestBuiltinMixes:
+    def test_ycsb_mostly_reads(self):
+        _, labels = YCSB_SESSION_MIX.sample_demands(10000, rng=6)
+        assert np.mean(labels == 0) > 0.9
+
+    def test_spark_reduce_heavier(self):
+        cls = SPARK_TASK_MIX.classes
+        assert cls[1].demand_scale > cls[0].demand_scale
+
+
+class TestWorkloadIntegration:
+    def test_with_mix_updates_cv(self):
+        redis = get_workload("redis")
+        mixed = redis.with_mix(YCSB_SESSION_MIX)
+        assert mixed.query_mix is YCSB_SESSION_MIX
+        assert mixed.service_cv == pytest.approx(YCSB_SESSION_MIX.effective_cv())
+        assert redis.query_mix is None  # original untouched
+
+    def test_mixed_demands_mean_one(self):
+        mixed = get_workload("redis").with_mix(YCSB_SESSION_MIX)
+        d = mixed.sample_demands(50000, rng=7)
+        assert d.mean() == pytest.approx(1.0, rel=0.03)
+
+    def test_mixed_spec_runs_in_testbed(self):
+        from repro.testbed import (
+            CollocatedService,
+            CollocationConfig,
+            CollocationRuntime,
+            default_machine,
+        )
+
+        mixed = get_workload("redis").with_mix(YCSB_SESSION_MIX)
+        cfg = CollocationConfig(
+            machine=default_machine(),
+            services=[
+                CollocatedService(mixed, timeout=1.0),
+                CollocatedService(get_workload("knn"), timeout=1.0),
+            ],
+        )
+        res = CollocationRuntime(cfg, rng=0).run(n_queries=300)
+        assert res.service("redis").n_queries > 0

@@ -1,0 +1,78 @@
+"""Tests for trace recording and replay."""
+
+import numpy as np
+import pytest
+
+from repro.testbed import (
+    CollocatedService,
+    CollocationConfig,
+    CollocationRuntime,
+    default_machine,
+)
+from repro.workloads import ArrivalTrace, get_workload, replay_through_queue
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    cfg = CollocationConfig(
+        machine=default_machine(),
+        services=[
+            CollocatedService(get_workload("redis"), timeout=1.0, utilization=0.9),
+            CollocatedService(get_workload("knn"), timeout=1.0, utilization=0.9),
+        ],
+    )
+    res = CollocationRuntime(cfg, rng=0).run(n_queries=800)
+    return ArrivalTrace.from_service_result(res.service("redis"))
+
+
+class TestArrivalTrace:
+    def test_recording(self, recorded):
+        assert recorded.service_name == "redis"
+        assert recorded.n_queries > 0
+        assert recorded.mean_rate > 0
+        assert np.all(np.diff(recorded.arrival_times) >= 0)
+
+    def test_save_load_roundtrip(self, recorded, tmp_path):
+        path = tmp_path / "trace.npz"
+        recorded.save(path)
+        loaded = ArrivalTrace.load(path)
+        assert loaded.service_name == "redis"
+        assert np.array_equal(loaded.arrival_times, recorded.arrival_times)
+        assert np.array_equal(loaded.demands, recorded.demands)
+
+    def test_scaling_changes_rate(self, recorded):
+        fast = recorded.scaled(2.0)
+        assert fast.mean_rate == pytest.approx(2 * recorded.mean_rate, rel=1e-6)
+        assert np.array_equal(fast.demands, recorded.demands)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArrivalTrace(np.array([2.0, 1.0]), np.array([1.0, 1.0]))
+        with pytest.raises(ValueError):
+            ArrivalTrace(np.array([1.0]), np.array([-1.0]))
+        with pytest.raises(ValueError):
+            ArrivalTrace(np.array([]), np.array([]))
+        with pytest.raises(ValueError):
+            ArrivalTrace(np.array([1.0]), np.array([1.0])).scaled(0)
+
+
+class TestReplay:
+    def test_policy_counterfactual(self, recorded):
+        """Replaying the same traffic with a boost policy must help."""
+        base = replay_through_queue(
+            recorded, timeout=np.inf, boost_speedup=1.0
+        )
+        boosted = replay_through_queue(
+            recorded, timeout=0.5, boost_speedup=1.8
+        )
+        assert boosted.response_times.mean() < base.response_times.mean()
+
+    def test_replay_is_deterministic(self, recorded):
+        a = replay_through_queue(recorded, timeout=1.0, boost_speedup=1.5)
+        b = replay_through_queue(recorded, timeout=1.0, boost_speedup=1.5)
+        assert np.array_equal(a.completion_times, b.completion_times)
+
+    def test_scaled_replay_increases_load(self, recorded):
+        calm = replay_through_queue(recorded, np.inf, 1.0)
+        rushed = replay_through_queue(recorded.scaled(1.3), np.inf, 1.0)
+        assert rushed.response_times.mean() > calm.response_times.mean()

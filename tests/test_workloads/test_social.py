@@ -1,0 +1,66 @@
+"""Tests for the Social microservice DAG."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.workloads import SocialGraph, build_social_workload
+from repro.workloads.social import N_CONTAINERS, N_MICROSERVICES
+
+
+class TestGraphStructure:
+    def test_service_and_container_counts(self):
+        g = SocialGraph(rng=0)
+        assert g.n_services == N_MICROSERVICES == 36
+        assert g.n_containers <= N_CONTAINERS == 30
+
+    def test_is_dag(self):
+        g = SocialGraph(rng=1)
+        assert nx.is_directed_acyclic_graph(g.graph)
+
+    def test_every_non_frontend_service_reachable(self):
+        g = SocialGraph(rng=2)
+        non_entry = [n for n in g.graph.nodes if g.graph.in_degree(n) == 0]
+        # Only frontend nodes may lack callers.
+        assert all(n.startswith("frontend") for n in non_entry)
+
+    def test_latency_shares_sum_to_one(self):
+        g = SocialGraph(rng=3)
+        total = sum(d["latency_share"] for _, d in g.graph.nodes(data=True))
+        assert total == pytest.approx(1.0)
+
+    def test_deterministic_given_seed(self):
+        g1, g2 = SocialGraph(rng=9), SocialGraph(rng=9)
+        assert set(g1.graph.edges) == set(g2.graph.edges)
+
+
+class TestLatencySampling:
+    def test_positive_and_shaped(self):
+        g = SocialGraph(rng=0)
+        lat = g.sample_latency(500, mean_total=7.5e-3, rng=1)
+        assert lat.shape == (500,)
+        assert np.all(lat > 0)
+
+    def test_mean_scales_with_budget(self):
+        g = SocialGraph(rng=0)
+        l1 = g.sample_latency(3000, mean_total=1.0, rng=2).mean()
+        l2 = g.sample_latency(3000, mean_total=2.0, rng=2).mean()
+        assert l2 == pytest.approx(2 * l1, rel=0.05)
+
+    def test_right_skewed(self):
+        g = SocialGraph(rng=0)
+        lat = g.sample_latency(5000, rng=3)
+        assert np.mean(lat) > np.median(lat)  # heavy right tail
+
+    def test_cv_nontrivial(self):
+        g = SocialGraph(rng=0)
+        assert g.empirical_cv(rng=4) > 0.15
+
+
+class TestWorkloadFactory:
+    def test_build_social_workload(self):
+        w = build_social_workload(rng=5)
+        assert w.name == "social"
+        assert w.baseline_service_time == pytest.approx(7.5e-3)
+        assert w.n_processes == 36
+        assert w.service_cv > 0.15
