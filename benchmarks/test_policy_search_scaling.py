@@ -1,0 +1,115 @@
+"""Scaling of the Section 5.2 policy exploration.
+
+Times the 2-service, 25-combination timeout search (the paper's 5x5
+grid) three ways — serial, serial with EA warm-starting, and across a
+4-worker process pool — and verifies the core determinism guarantee:
+every execution mode must pick the *identical* timeout vector, and
+serial vs parallel must agree bit-for-bit on the whole response-time
+matrix.
+
+The >= 2x parallel wall-clock assertion only applies on machines that
+actually expose >= 4 CPUs; on smaller boxes the numbers are still
+recorded so regressions in the serial path remain visible.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from benchmarks.conftest import print_block
+from repro import Profiler, StacModel, uniform_conditions
+from repro.analysis import format_table
+from repro.core.policy_search import (
+    DEFAULT_TIMEOUT_GRID,
+    explore_timeouts,
+    slo_matching,
+)
+from repro.core.profiler import ProfilerSettings
+
+PAIR = ("redis", "knn")
+UTILS = (0.9, 0.9)
+
+DF_CONFIG = dict(
+    windows=[(5, 5)],
+    mgs_estimators=5,
+    mgs_max_instances=2000,
+    n_levels=1,
+    forests_per_level=2,
+    n_estimators=10,
+)
+
+
+def _fitted_model() -> StacModel:
+    conditions = uniform_conditions(PAIR, n=6, rng=0)
+    profiler = Profiler(
+        settings=ProfilerSettings(n_queries=300, n_windows=3, trace_ticks=12),
+        rng=0,
+    )
+    # A heavier simulated queue per combination: the regime the search
+    # actually faces in production-scale planning.
+    model = StacModel(rng=0, sim_queries=16000, **DF_CONFIG)
+    return model.fit(profiler.profile(conditions))
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - t0
+
+
+def test_policy_search_scaling():
+    model = _fitted_model()
+    n_cpus = len(os.sched_getaffinity(0))
+
+    (serial, t_serial) = _timed(
+        lambda: explore_timeouts(model, PAIR, UTILS, DEFAULT_TIMEOUT_GRID)
+    )
+    (warm, t_warm) = _timed(
+        lambda: explore_timeouts(
+            model, PAIR, UTILS, DEFAULT_TIMEOUT_GRID, warm_start=True
+        )
+    )
+    (par, t_par) = _timed(
+        lambda: explore_timeouts(
+            model, PAIR, UTILS, DEFAULT_TIMEOUT_GRID, n_jobs=4
+        )
+    )
+
+    combos, rt_serial = serial
+    _, rt_warm = warm
+    _, rt_par = par
+    assert len(combos) == 25
+
+    # Determinism guarantees: parallel is bit-identical to serial, and
+    # every mode lands on the same chosen timeout vector.
+    assert np.array_equal(rt_serial, rt_par)
+    chosen = slo_matching(rt_serial)
+    assert slo_matching(rt_par) == chosen
+    assert slo_matching(rt_warm) == chosen
+
+    rows = [
+        ["serial (cold)", t_serial, 1.0],
+        ["serial (warm-start)", t_warm, t_serial / t_warm],
+        ["4 workers", t_par, t_serial / t_par],
+    ]
+    print_block(
+        format_table(
+            ["mode", "seconds", "speedup"],
+            rows,
+            title=(
+                f"Policy-search scaling: 25-combo grid, pair {PAIR}, "
+                f"{n_cpus} CPU(s) available; chosen combo "
+                f"{combos[chosen]}"
+            ),
+        )
+    )
+
+    # Warm-starting skips converged fixed-point iterations, so it must
+    # never be slower than the cold search by more than scheduling noise.
+    assert t_warm <= t_serial * 1.10
+    if n_cpus >= 4:
+        assert t_serial / t_par >= 2.0, (
+            f"expected >= 2x at 4 workers on {n_cpus} CPUs, got "
+            f"{t_serial / t_par:.2f}x"
+        )

@@ -147,7 +147,9 @@ def _cmd_policy(args) -> int:
     print(f"training {args.learner} model on {len(ds)} rows...")
     model = StacModel(machine=machine, learner=args.learner, rng=args.seed).fit(ds)
     utils = tuple([args.utilization] * len(pair))
-    decision = model_driven_policy(model, pair, utils)
+    decision = model_driven_policy(
+        model, pair, utils, n_jobs=args.jobs, warm_start=args.warm_start
+    )
     print(f"recommended timeouts (x service time): {decision.timeouts}")
     if args.verify:
         evaluator = RuntimeEvaluator(
@@ -222,6 +224,18 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("deep_forest", "cascade", "random_forest", "tree", "linear"),
     )
     p_pol.add_argument("--verify", action="store_true")
+    p_pol.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the timeout-grid search "
+        "(any value returns the identical vector)",
+    )
+    p_pol.add_argument(
+        "--warm-start",
+        action="store_true",
+        help="warm-start the EA fixed point across neighbouring combos",
+    )
     p_pol.set_defaults(func=_cmd_policy)
     return parser
 

@@ -21,7 +21,11 @@ from repro.core.profiler import Profiler
 from repro.core.ea_model import EAModel
 from repro.core.rt_model import ResponseTimeModel
 from repro.core.pipeline import StacModel
-from repro.core.policy_search import model_driven_policy, slo_matching
+from repro.core.policy_search import (
+    explore_timeouts,
+    model_driven_policy,
+    slo_matching,
+)
 from repro.core.io import (
     load_dataset,
     load_packed_forest,
@@ -43,6 +47,7 @@ __all__ = [
     "EAModel",
     "ResponseTimeModel",
     "StacModel",
+    "explore_timeouts",
     "model_driven_policy",
     "slo_matching",
     "load_dataset",

@@ -34,7 +34,7 @@ from repro.core.profile_vec import (
     static_features,
 )
 from repro.core.rt_model import QueueFeedback, ResponseTimeModel
-from repro.counters.events import N_COUNTERS, synthesize_tick
+from repro.counters.events import synthesize_ticks
 from repro.queueing.metrics import ResponseTimeSummary
 from repro.testbed.machine import XeonSpec, default_machine
 from repro.workloads.suite import get_workload
@@ -199,51 +199,77 @@ class StacModel:
             spec = specs[j]
             cap_boost = self._boosted_capacity(specs, j, boost_fractions)
             bf = float(boost_fractions[j])
-            ticks = np.zeros((self.trace_ticks, N_COUNTERS))
             # Spread boosted ticks evenly (deterministic, seed-free).
             boosted_ticks = {
                 int(round(k * self.trace_ticks / max(1, round(bf * self.trace_ticks))))
                 for k in range(int(round(bf * self.trace_ticks)))
             }
-            for t in range(self.trace_ticks):
-                boosted = t in boosted_ticks
-                cap = cap_boost if boosted else private
-                ticks[t] = synthesize_tick(
-                    spec,
-                    capacity_bytes=cap,
-                    busy_fraction=float(utils[j]),
-                    boost_fraction=1.0 if boosted else 0.0,
-                    dt=dt,
-                    ways_allocated=cap / self.machine.way_bytes,
-                    noise=0.0,
-                )
+            boosted = np.zeros(self.trace_ticks, dtype=bool)
+            boosted[[t for t in boosted_ticks if t < self.trace_ticks]] = True
+            cap = np.where(boosted, cap_boost, private)
+            # One batched synthesis over the whole window instead of a
+            # Python per-tick loop (noise-free, so bit-identical).
+            ticks = synthesize_ticks(
+                spec,
+                capacity_bytes=cap,
+                busy_fraction=float(utils[j]),
+                boost_fraction=boosted.astype(float),
+                dt=dt,
+                ways_allocated=cap / self.machine.way_bytes,
+                noise=0.0,
+            )
             blocks.append(ticks.T)
         return np.vstack(blocks)
 
-    def predict_condition(self, condition: RuntimeCondition) -> ConditionPrediction:
+    def predict_condition(
+        self,
+        condition: RuntimeCondition,
+        ea_init: np.ndarray | None = None,
+        ea_tol: float = 0.0,
+    ) -> ConditionPrediction:
         """Predict response time for a hypothetical runtime condition.
 
         Runs the Stage 3 queueing simulator and Stage 2 EA model to a
         fixed point: the simulator's queue feedback shapes the dynamic
         features and nominal traces, whose EA predictions update the
         simulator's boosted rate.
+
+        Parameters
+        ----------
+        ea_init:
+            Optional per-service starting EAs for the fixed point.  When
+            omitted the no-contention first-principles EA seeds the loop;
+            policy exploration passes the converged EAs of a neighbouring
+            timeout combination to warm-start the iteration.
+        ea_tol:
+            Early-exit tolerance: when > 0 the loop stops as soon as the
+            largest per-service EA update falls within ``ea_tol`` (at
+            most ``n_iterations`` iterations either way).  The default 0
+            always runs all iterations.
         """
         specs = [get_workload(n) for n in condition.workloads]
         n = len(specs)
         grosses = [self._gross_increase(n, i) for i in range(n)]
         mb = 1024 * 1024
-        # Initial guess: no-contention first-principles EA.
-        eas = np.array(
-            [
-                ideal_effective_allocation(
-                    specs[i],
-                    self.private_mb * mb,
-                    self.shared_mb * mb,
-                    grosses[i],
-                )
-                for i in range(n)
-            ]
-        )
+        if ea_init is not None:
+            eas = np.asarray(ea_init, dtype=float).copy()
+            if eas.shape != (n,):
+                raise ValueError(f"ea_init must have shape ({n},), got {eas.shape}")
+            if np.any(eas <= 0):
+                raise ValueError("ea_init entries must be > 0")
+        else:
+            # Initial guess: no-contention first-principles EA.
+            eas = np.array(
+                [
+                    ideal_effective_allocation(
+                        specs[i],
+                        self.private_mb * mb,
+                        self.shared_mb * mb,
+                        grosses[i],
+                    )
+                    for i in range(n)
+                ]
+            )
         feedback: list[QueueFeedback] = [None] * n
         for _ in range(self.n_iterations):
             for i in range(n):
@@ -298,7 +324,11 @@ class StacModel:
                     )
                 )
             X_flat_arr, traces_arr = np.stack(X_flat), np.stack(traces)
-            eas = self.ea_model.predict(X_flat_arr, traces_arr)
+            new_eas = self.ea_model.predict(X_flat_arr, traces_arr)
+            converged = float(np.max(np.abs(new_eas - eas))) <= ea_tol
+            eas = new_eas
+            if ea_tol > 0 and converged:
+                break
         return ConditionPrediction(
             summaries=[f.summary for f in feedback],
             effective_allocations=eas,

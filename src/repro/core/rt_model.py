@@ -15,7 +15,6 @@ import numpy as np
 from repro._util import as_rng
 from repro.queueing.ggk import StapQueueConfig, simulate_stap_queue
 from repro.queueing.metrics import ResponseTimeSummary, summarize_response_times
-from repro.workloads.arrivals import PoissonArrivals
 
 
 @dataclass(frozen=True)
@@ -45,6 +44,26 @@ class ResponseTimeModel:
         self.warmup_fraction = warmup_fraction
         self._rng = as_rng(rng)
         self._seed = int(self._rng.integers(0, 2**31))
+        self._base_samples: tuple[np.ndarray, np.ndarray] | None = None
+
+    def _base(self) -> tuple[np.ndarray, np.ndarray]:
+        """The shared unit-scale random draws behind every simulation.
+
+        Because the predictor is seeded once, every condition reuses the
+        same standard-exponential inter-arrival gaps and standard-normal
+        demand variates; :meth:`simulate` only rescales them.  Policy
+        exploration therefore shares one arrival/demand sample across
+        all timeout combinations instead of regenerating it per combo,
+        and the rescaling is bit-identical to drawing
+        ``rng.exponential(1/rate)`` / ``rng.lognormal(...)`` afresh.
+        """
+        if self._base_samples is None:
+            rng = np.random.default_rng(self._seed)
+            self._base_samples = (
+                rng.standard_exponential(self.n_queries),
+                rng.standard_normal(self.n_queries),
+            )
+        return self._base_samples
 
     def simulate(
         self,
@@ -70,12 +89,13 @@ class ResponseTimeModel:
         if mean_service_time <= 0:
             raise ValueError("mean_service_time must be > 0")
         # Fixed seed: the predictor must be deterministic for a condition.
-        rng = np.random.default_rng(self._seed)
+        # The unit-scale draws are cached (see _base) and rescaled here.
+        gaps, normals = self._base()
         rate = utilization * self.n_servers / mean_service_time
-        arrivals = PoissonArrivals(rate).sample(self.n_queries, rng=rng)
+        arrivals = np.cumsum((1.0 / rate) * gaps)
         if service_cv > 0:
             sigma2 = np.log1p(service_cv**2)
-            demands = rng.lognormal(-0.5 * sigma2, np.sqrt(sigma2), self.n_queries)
+            demands = np.exp(-0.5 * sigma2 + np.sqrt(sigma2) * normals)
         else:
             demands = np.ones(self.n_queries)
         boost_speedup = max(effective_allocation * gross_increase, 0.1)

@@ -6,7 +6,12 @@ from the simulated cache state so the deep-learning stage has real
 signal to find.
 """
 
-from repro.counters.events import COUNTER_NAMES, N_COUNTERS, synthesize_tick
+from repro.counters.events import (
+    COUNTER_NAMES,
+    N_COUNTERS,
+    synthesize_tick,
+    synthesize_ticks,
+)
 from repro.counters.sampler import CounterSampler, sample_service_counters
 from repro.counters.trace import CacheUsageTrace, order_counters
 
@@ -14,6 +19,7 @@ __all__ = [
     "COUNTER_NAMES",
     "N_COUNTERS",
     "synthesize_tick",
+    "synthesize_ticks",
     "CounterSampler",
     "sample_service_counters",
     "CacheUsageTrace",

@@ -68,28 +68,36 @@ _LEVEL_RATIOS = {
 _LINE = 64
 
 
-def synthesize_tick(
+def synthesize_ticks(
     spec: WorkloadSpec,
-    capacity_bytes: float,
-    busy_fraction: float,
-    boost_fraction: float,
+    capacity_bytes,
+    busy_fraction,
+    boost_fraction,
     dt: float,
-    ways_allocated: float,
+    ways_allocated,
     rng=None,
     noise: float = 0.05,
 ) -> np.ndarray:
-    """Counter vector for one sampling interval of length ``dt`` seconds.
+    """Counter matrix for a batch of sampling intervals, vectorized.
+
+    Per-tick inputs (``capacity_bytes``, ``busy_fraction``,
+    ``boost_fraction``, ``ways_allocated``) broadcast against each other
+    to a common tick count ``T``; the result has shape
+    ``(T, N_COUNTERS)``.  The arithmetic is elementwise-identical to the
+    scalar per-tick derivation, and the noise matrix is drawn row-major,
+    so a batched call consumes the RNG stream exactly as ``T``
+    successive scalar calls would — outputs are bit-identical.
 
     Parameters
     ----------
     spec:
         The workload whose counters are sampled.
     capacity_bytes:
-        Mean effective LLC capacity during the tick.
+        Mean effective LLC capacity during each tick.
     busy_fraction:
-        Fraction of the tick with at least one query in service.
+        Fraction of each tick with at least one query in service.
     boost_fraction:
-        Fraction of the tick the service held short-term allocation.
+        Fraction of each tick the service held short-term allocation.
     ways_allocated:
         Mean number of LLC ways enabled.
     noise:
@@ -97,9 +105,26 @@ def synthesize_tick(
     """
     if dt <= 0:
         raise ValueError("dt must be > 0")
-    if not 0 <= busy_fraction <= 1 or not 0 <= boost_fraction <= 1:
+    capacity_bytes, busy_fraction, boost_fraction, ways_allocated = (
+        np.broadcast_arrays(
+            np.asarray(capacity_bytes, dtype=float),
+            np.asarray(busy_fraction, dtype=float),
+            np.asarray(boost_fraction, dtype=float),
+            np.asarray(ways_allocated, dtype=float),
+        )
+    )
+    if capacity_bytes.ndim > 1:
+        raise ValueError("per-tick inputs must be scalars or 1-D arrays")
+    if not (
+        np.all((busy_fraction >= 0) & (busy_fraction <= 1))
+        and np.all((boost_fraction >= 0) & (boost_fraction <= 1))
+    ):
         raise ValueError("fractions must be in [0, 1]")
     rng = as_rng(rng)
+    capacity_bytes = np.atleast_1d(capacity_bytes)
+    busy_fraction = np.atleast_1d(busy_fraction)
+    boost_fraction = np.atleast_1d(boost_fraction)
+    ways_allocated = np.atleast_1d(ways_allocated)
 
     l1_mr, l2_mr = _LEVEL_RATIOS[spec.stream_kind]
     accesses = spec.access_intensity * dt * busy_fraction
@@ -119,14 +144,16 @@ def synthesize_tick(
     l2_pref = l2_req * 0.15
     l2_pref_miss = l2_pref * l2_mr
 
-    llc_mr = float(spec.mrc.miss_ratio(capacity_bytes)) if capacity_bytes > 0 else 1.0
+    llc_mr = np.where(
+        capacity_bytes > 0, spec.mrc.miss_ratio(capacity_bytes), 1.0
+    )
     llc_refs = l2_load_miss + l2_store_miss + l2_pref_miss
     llc_loads = l2_load_miss
     llc_load_miss = llc_loads * llc_mr
     llc_stores = l2_store_miss
     llc_store_miss = llc_stores * llc_mr
     llc_evict = (llc_load_miss + llc_store_miss) * 0.9
-    llc_occ = min(capacity_bytes, spec.mrc.footprint_bytes) * busy_fraction
+    llc_occ = np.minimum(capacity_bytes, spec.mrc.footprint_bytes) * busy_fraction
 
     mem_bw = (llc_load_miss + llc_store_miss) * _LINE
     dtlb_l = loads * 0.002
@@ -134,13 +161,13 @@ def synthesize_tick(
     instructions = accesses * 4.0
     # Cycles grow with memory stalls: more LLC misses -> more stall cycles.
     m_base = float(spec.mrc.miss_ratio(spec.baseline_capacity))
-    stall_scale = llc_mr / m_base if m_base > 0 else 1.0
+    stall_scale = llc_mr / m_base if m_base > 0 else np.ones_like(llc_mr)
     base_cycles = instructions / 1.5
     stalled = base_cycles * spec.memory_boundedness * stall_scale
     cycles = base_cycles * (1 - spec.memory_boundedness) + stalled
     offcore = llc_refs * 1.05
 
-    raw = np.array(
+    raw = np.stack(
         [
             loads,
             l1d_load_miss,
@@ -174,5 +201,33 @@ def synthesize_tick(
         ]
     )
     if noise > 0:
-        raw = raw * rng.normal(1.0, noise, size=raw.shape)
-    return np.maximum(raw, 0.0)
+        # Tick-major draw: matches T successive scalar-call draws.
+        raw = raw * rng.normal(1.0, noise, size=(raw.shape[1], raw.shape[0])).T
+    return np.maximum(raw, 0.0).T
+
+
+def synthesize_tick(
+    spec: WorkloadSpec,
+    capacity_bytes: float,
+    busy_fraction: float,
+    boost_fraction: float,
+    dt: float,
+    ways_allocated: float,
+    rng=None,
+    noise: float = 0.05,
+) -> np.ndarray:
+    """Counter vector for one sampling interval of length ``dt`` seconds.
+
+    Scalar convenience wrapper over :func:`synthesize_ticks`; see there
+    for parameter semantics.
+    """
+    return synthesize_ticks(
+        spec,
+        capacity_bytes,
+        busy_fraction,
+        boost_fraction,
+        dt,
+        ways_allocated,
+        rng=rng,
+        noise=noise,
+    )[0]

@@ -84,6 +84,7 @@ class RegressionTree:
         self._left, self._right, self._value = [], [], []
         self.n_features_ = X.shape[1]
         self._importance = np.zeros(X.shape[1])
+        self._depth = 0
         self._build(X, y, np.arange(X.shape[0]), depth=0)
         # Freeze to arrays for fast prediction.
         self._feature_a = np.asarray(self._feature, dtype=np.intp)
@@ -137,6 +138,7 @@ class RegressionTree:
             - float(((yr - yr.mean()) ** 2).sum())
         )
         self._importance[f] += max(decrease, 0.0)
+        self._depth = max(self._depth, depth + 1)
         self._left[node] = self._build(X, y, left_idx, depth + 1)
         self._right[node] = self._build(X, y, right_idx, depth + 1)
         return node
@@ -234,15 +236,12 @@ class RegressionTree:
 
     @property
     def depth(self) -> int:
-        """Maximum depth of the fitted tree (root = 0)."""
+        """Maximum depth of the fitted tree (root = 0).
+
+        Recorded during :meth:`fit`, so reading it is O(1) — packing a
+        fitted forest (:class:`~repro.forest.fast_inference.PackedForest`)
+        no longer re-walks every tree's node table.
+        """
         if not self._feature:
             raise RuntimeError("tree is not fitted")
-        depths = {0: 0}
-        maxd = 0
-        for node in range(len(self._feature)):
-            if self._feature[node] != _LEAF:
-                d = depths[node] + 1
-                depths[self._left[node]] = d
-                depths[self._right[node]] = d
-                maxd = max(maxd, d)
-        return maxd
+        return self._depth

@@ -8,6 +8,7 @@ epochs at similar load reuse the grid exploration instead of re-running
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -32,6 +33,12 @@ class AdaptiveTimeoutController:
     utilization_quantum:
         Cache key resolution: utilizations are rounded to this quantum,
         bounding both cache size and plan churn.
+    n_jobs:
+        Worker processes for each plan's grid exploration (passed to
+        :func:`model_driven_policy`; results are independent of it).
+    warm_start:
+        Warm-start the EA fixed point across neighbouring grid
+        combinations when exploring (see :func:`explore_timeouts`).
     """
 
     model: StacModel
@@ -39,6 +46,8 @@ class AdaptiveTimeoutController:
     timeout_grid: tuple = DEFAULT_TIMEOUT_GRID
     utilization_quantum: float = 0.05
     statistic: str = "p95"
+    n_jobs: int = 1
+    warm_start: bool = False
     _plans: dict = field(default_factory=dict, init=False)
 
     def __post_init__(self) -> None:
@@ -46,12 +55,25 @@ class AdaptiveTimeoutController:
             raise ValueError("utilization_quantum must be in (0, 0.5]")
         if len(self.workloads) < 1:
             raise ValueError("need at least one workload")
+        if self.n_jobs < 1:
+            raise ValueError("n_jobs must be >= 1")
 
     def _key(self, utilizations) -> tuple:
+        """Quantize utilizations to stable cache-bucket centres.
+
+        Uses half-up rounding (``floor(x + 0.5)``) rather than
+        ``np.round``: banker's rounding sends alternating bucket edges
+        down/up (0.125 -> 0.10 but 0.175 -> 0.15 at quantum 0.05), which
+        made nominally identical loads hit different plan-cache entries.
+        The epsilon absorbs float-division jitter at exact edges so
+        every midpoint rounds up consistently.
+        """
         q = self.utilization_quantum
-        return tuple(
-            float(np.clip(np.round(u / q) * q, 0.05, 0.95)) for u in utilizations
-        )
+        out = []
+        for u in utilizations:
+            steps = math.floor(u / q + 0.5 + 1e-9)
+            out.append(float(np.clip(round(steps * q, 12), 0.05, 0.95)))
+        return tuple(out)
 
     def recommend(self, utilizations) -> PolicyDecision:
         """A timeout vector for the given per-service utilizations."""
@@ -66,6 +88,8 @@ class AdaptiveTimeoutController:
                 timeout_grid=self.timeout_grid,
                 statistic=self.statistic,
                 name="adaptive",
+                n_jobs=self.n_jobs,
+                warm_start=self.warm_start,
             )
         return self._plans[key]
 

@@ -108,6 +108,11 @@ class OnlineManager:
         self.private_mb = private_mb
         self.shared_mb = shared_mb
         self._rng = as_rng(rng)
+        # Epoch seeds derive from one fixed spawn, not from live draws
+        # on self._rng: every run() on this manager then simulates the
+        # same ground truth, so back-to-back adapt=True / adapt=False
+        # runs differ only by policy, never by seed noise.
+        self._epoch_seed_root = int(self._rng.integers(0, 2**31))
 
     def _run_epoch(
         self, epoch: int, utilizations, timeouts, seed: int
@@ -139,13 +144,17 @@ class OnlineManager:
 
         ``adapt=True`` re-plans timeouts each epoch from that epoch's
         utilizations; ``adapt=False`` plans once for epoch 0 and keeps
-        the vector (one-shot calibration).
+        the vector (one-shot calibration).  Repeated runs on the same
+        manager share per-epoch ground-truth seeds, so A/B comparisons
+        across modes isolate the policy effect.
         """
         if scenario.n_services != len(self.controller.workloads):
             raise ValueError(
                 "scenario width does not match the controller's workloads"
             )
-        seeds = self._rng.integers(0, 2**31, size=scenario.n_epochs)
+        seeds = np.random.default_rng(self._epoch_seed_root).integers(
+            0, 2**31, size=scenario.n_epochs
+        )
         results = []
         static_plan = None
         for i, utils in enumerate(scenario.epochs):

@@ -146,6 +146,12 @@ def simulate_stap_queue(
     demand = np.ascontiguousarray(demands, dtype=float)
     if arrivals.shape != demand.shape or arrivals.ndim != 1:
         raise ValueError("arrival_times and demands must be matching 1-D arrays")
+    # NaN/inf would sail through the sortedness check below (comparisons
+    # with NaN are False) and silently corrupt start/completion times.
+    if not np.all(np.isfinite(arrivals)):
+        raise ValueError("arrival_times must be finite (no NaN/inf)")
+    if not np.all(np.isfinite(demand)):
+        raise ValueError("demands must be finite (no NaN/inf)")
     if arrivals.size and np.any(np.diff(arrivals) < 0):
         raise ValueError("arrival_times must be sorted")
     n = arrivals.shape[0]

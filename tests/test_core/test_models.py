@@ -233,3 +233,136 @@ class TestPolicySearch:
 
     def test_default_grid_is_paperlike(self):
         assert len(DEFAULT_TIMEOUT_GRID) == 5
+
+
+class TestSloMatchingEdgeCases:
+    def test_single_service_relaxation(self):
+        """One service: the per-service optimum always wins, even when
+        the initial tolerance band holds only that combination."""
+        rt = np.array([[2.0], [1.0], [1.9]])
+        assert slo_matching(rt, tolerance=0.001) == 1
+
+    def test_empty_intersection_relaxes_to_compromise(self):
+        """No combination satisfies every service at the base tolerance;
+        geometric relaxation must find the balanced compromise rather
+        than either service's lopsided optimum."""
+        rt = np.array([[1.0, 3.0], [3.0, 1.0], [1.5, 1.5]])
+        assert slo_matching(rt, tolerance=0.01) == 2
+
+    def test_tie_break_by_minimax_regret(self):
+        """All combinations fall inside the tolerance band; the one with
+        the smallest worst-case relative regret wins."""
+        rt = np.array([[1.0, 1.04], [1.04, 1.0], [1.02, 1.02]])
+        assert slo_matching(rt, tolerance=0.05) == 2
+
+    def test_identical_rows_pick_first(self):
+        rt = np.ones((4, 3))
+        assert slo_matching(rt) == 0
+
+    def test_wide_matrix_many_services(self):
+        rng = np.random.default_rng(0)
+        rt = rng.uniform(1.0, 2.0, size=(25, 6))
+        idx = slo_matching(rt, tolerance=0.05)
+        assert 0 <= idx < 25
+        # The pick never has worse minimax regret than the global one.
+        regret = (rt / rt.min(axis=0)).max(axis=1)
+        assert regret[idx] <= regret.min() * (1 + 1e-12)
+
+
+class TestParallelPolicySearch:
+    def test_parallel_matches_serial_bitwise(self, fitted):
+        model, _, _ = fitted
+        combos1, rt1 = explore_timeouts(
+            model, ("redis", "social"), (0.9, 0.9), timeout_grid=(0.5, 2.0)
+        )
+        combos2, rt2 = explore_timeouts(
+            model,
+            ("redis", "social"),
+            (0.9, 0.9),
+            timeout_grid=(0.5, 2.0),
+            n_jobs=2,
+        )
+        assert combos1 == combos2
+        assert np.array_equal(rt1, rt2)
+
+    def test_policy_identical_across_njobs(self, fitted):
+        model, _, _ = fitted
+        serial = model_driven_policy(
+            model, ("redis", "social"), (0.9, 0.9), timeout_grid=(0.5, 2.0)
+        )
+        parallel = model_driven_policy(
+            model,
+            ("redis", "social"),
+            (0.9, 0.9),
+            timeout_grid=(0.5, 2.0),
+            n_jobs=2,
+        )
+        assert serial.timeouts == parallel.timeouts
+
+    def test_warm_start_parallel_matches_serial(self, fitted):
+        """Warm-starting changes predictions slightly but must stay
+        bit-identical between serial and parallel execution."""
+        model, _, _ = fitted
+        _, cold = explore_timeouts(
+            model, ("redis", "social"), (0.9, 0.9), timeout_grid=(0.5, 2.0)
+        )
+        _, warm1 = explore_timeouts(
+            model,
+            ("redis", "social"),
+            (0.9, 0.9),
+            timeout_grid=(0.5, 2.0),
+            warm_start=True,
+        )
+        _, warm2 = explore_timeouts(
+            model,
+            ("redis", "social"),
+            (0.9, 0.9),
+            timeout_grid=(0.5, 2.0),
+            warm_start=True,
+            n_jobs=2,
+        )
+        assert np.array_equal(warm1, warm2)
+        # Warm-started predictions track the cold fixed point closely.
+        assert np.allclose(warm1, cold, rtol=0.2)
+
+    def test_bad_njobs(self, fitted):
+        model, _, _ = fitted
+        with pytest.raises(ValueError):
+            explore_timeouts(model, ("redis",), (0.9,), n_jobs=0)
+
+    def test_empty_grid(self, fitted):
+        model, _, _ = fitted
+        with pytest.raises(ValueError):
+            explore_timeouts(model, ("redis",), (0.9,), timeout_grid=())
+
+
+class TestConditionWarmStart:
+    def test_ea_init_shape_validation(self, fitted):
+        model, _, _ = fitted
+        cond = RuntimeCondition(("redis", "social"), (0.9, 0.9), (1.0, 1.0))
+        with pytest.raises(ValueError):
+            model.predict_condition(cond, ea_init=np.array([0.8]))
+        with pytest.raises(ValueError):
+            model.predict_condition(cond, ea_init=np.array([0.8, -0.1]))
+
+    def test_converged_init_exits_early(self, fitted):
+        """Re-seeding with the converged EAs and a tolerance reproduces
+        the fixed point without re-running every iteration."""
+        model, _, _ = fitted
+        cond = RuntimeCondition(("redis", "social"), (0.9, 0.9), (1.0, 1.0))
+        cold = model.predict_condition(cond)
+        warm = model.predict_condition(
+            cond, ea_init=cold.effective_allocations, ea_tol=0.05
+        )
+        assert np.allclose(
+            warm.effective_allocations, cold.effective_allocations, atol=0.1
+        )
+        assert all(s.p95 > 0 for s in warm.summaries)
+
+    def test_default_path_unchanged_by_new_params(self, fitted):
+        model, _, _ = fitted
+        cond = RuntimeCondition(("redis", "social"), (0.9, 0.9), (1.0, 1.0))
+        a = model.predict_condition(cond)
+        b = model.predict_condition(cond, ea_init=None, ea_tol=0.0)
+        assert np.array_equal(a.effective_allocations, b.effective_allocations)
+        assert a.summaries[0].p95 == b.summaries[0].p95

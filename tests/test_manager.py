@@ -113,3 +113,88 @@ class TestOnlineManager:
     def test_bad_queries(self, controller):
         with pytest.raises(ValueError):
             OnlineManager(controller, n_queries=5)
+
+
+class TestCacheKeyQuantization:
+    """Regression: ``np.round`` banker's rounding made bucket edges
+    inconsistent (0.125 -> 0.10 but 0.175 -> 0.15 at quantum 0.05);
+    keys now quantize half-up, so every midpoint rounds the same way.
+    """
+
+    def test_bucket_edges_round_half_up(self, controller):
+        assert controller._key((0.125, 0.175)) == (0.15, 0.2)
+
+    def test_all_midpoints_round_up(self, controller):
+        q = controller.utilization_quantum
+        for k in range(2, 18):
+            mid = k * q + q / 2
+            (key, _) = controller._key((mid, 0.5))
+            assert key == pytest.approx(min((k + 1) * q, 0.95)), mid
+
+    def test_interior_values_unchanged(self, controller):
+        assert controller._key((0.71, 0.72)) == (0.7, 0.7)
+        assert controller._key((0.30, 0.55)) == (0.3, 0.55)
+
+    def test_keys_clipped_to_valid_utilization(self, controller):
+        lo, hi = controller._key((0.01, 0.99))
+        assert lo == pytest.approx(0.05)
+        assert hi == pytest.approx(0.95)
+
+    def test_equal_loads_share_one_plan_across_edge(self, controller):
+        before = controller.plans_computed
+        a = controller.recommend((0.125, 0.125))
+        b = controller.recommend((0.13, 0.13))  # same half-up bucket
+        assert a is b
+        assert controller.plans_computed == before + 1
+
+
+class TestGroundTruthSeeding:
+    """Regression: ``run`` used to draw fresh epoch seeds from the live
+    RNG, so back-to-back adapt=True / adapt=False runs on one manager
+    simulated *different* ground truth and conflated policy effect with
+    seed noise.  Seeds now derive from one fixed spawn per manager.
+    """
+
+    def test_repeated_runs_share_ground_truth(self, controller):
+        manager = OnlineManager(controller, n_queries=300, rng=7)
+        scenario = LoadScenario.ramp(2, 0.5, 0.8, 2)
+        r1 = manager.run(scenario, adapt=False)
+        r2 = manager.run(scenario, adapt=False)
+        for a, b in zip(r1, r2):
+            assert np.array_equal(a.p95, b.p95)
+            assert np.array_equal(a.mean, b.mean)
+
+    def test_ab_runs_share_epoch_zero(self, controller):
+        """Epoch 0 uses the same plan in both modes, so with shared
+        ground truth its outcomes must match exactly."""
+        manager = OnlineManager(controller, n_queries=300, rng=8)
+        scenario = LoadScenario.ramp(2, 0.5, 0.8, 2)
+        adaptive = manager.run(scenario, adapt=True)
+        static = manager.run(scenario, adapt=False)
+        assert adaptive[0].timeouts == static[0].timeouts
+        assert np.array_equal(adaptive[0].p95, static[0].p95)
+
+    def test_distinct_managers_distinct_ground_truth(self, controller):
+        scenario = LoadScenario.ramp(2, 0.5, 0.8, 2)
+        r1 = OnlineManager(controller, n_queries=300, rng=9).run(scenario)
+        r2 = OnlineManager(controller, n_queries=300, rng=10).run(scenario)
+        assert not np.array_equal(r1[0].p95, r2[0].p95)
+
+
+class TestControllerParallel:
+    def test_njobs_validation(self, controller):
+        with pytest.raises(ValueError):
+            AdaptiveTimeoutController(
+                model=controller.model, workloads=PAIR, n_jobs=0
+            )
+
+    def test_parallel_controller_matches_serial(self, controller):
+        parallel = AdaptiveTimeoutController(
+            model=controller.model,
+            workloads=PAIR,
+            timeout_grid=(0.0, 1.0, 4.0),
+            n_jobs=2,
+        )
+        assert parallel.recommend((0.9, 0.9)).timeouts == controller.recommend(
+            (0.9, 0.9)
+        ).timeouts

@@ -195,3 +195,43 @@ class TestValidation:
         res = run_mm1(0.5, n=100)
         with pytest.raises(ValueError):
             res.drop_warmup(1.0)
+
+
+class TestInputValidation:
+    """Non-finite inputs must be rejected, not silently simulated.
+
+    Regression: ``np.any(np.diff(arrivals) < 0)`` is False for NaN
+    (comparisons with NaN are False), so a NaN arrival used to pass the
+    sortedness check and quietly corrupt start/completion times.
+    """
+
+    CFG = StapQueueConfig(n_servers=1)
+
+    def test_nan_arrival_rejected(self):
+        arrivals = np.array([1.0, np.nan, 3.0])
+        with pytest.raises(ValueError, match="finite"):
+            simulate_stap_queue(arrivals, np.ones(3), self.CFG)
+
+    def test_inf_arrival_rejected(self):
+        arrivals = np.array([1.0, 2.0, np.inf])
+        with pytest.raises(ValueError, match="finite"):
+            simulate_stap_queue(arrivals, np.ones(3), self.CFG)
+
+    def test_nan_demand_rejected(self):
+        demands = np.array([1.0, np.nan, 1.0])
+        with pytest.raises(ValueError, match="finite"):
+            simulate_stap_queue(np.arange(3.0), demands, self.CFG)
+
+    def test_inf_demand_rejected(self):
+        demands = np.array([1.0, np.inf, 1.0])
+        with pytest.raises(ValueError, match="finite"):
+            simulate_stap_queue(np.arange(3.0), demands, self.CFG)
+
+    def test_unsorted_still_rejected(self):
+        arrivals = np.array([3.0, 1.0, 2.0])
+        with pytest.raises(ValueError, match="sorted"):
+            simulate_stap_queue(arrivals, np.ones(3), self.CFG)
+
+    def test_finite_sorted_accepted(self):
+        res = simulate_stap_queue(np.arange(1.0, 4.0), np.ones(3), self.CFG)
+        assert np.all(np.isfinite(res.completion_times))
