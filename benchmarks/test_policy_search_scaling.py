@@ -1,11 +1,15 @@
 """Scaling of the Section 5.2 policy exploration.
 
 Times the 2-service, 25-combination timeout search (the paper's 5x5
-grid) three ways — serial, serial with EA warm-starting, and across a
-4-worker process pool — and verifies the core determinism guarantee:
-every execution mode must pick the *identical* timeout vector, and
-serial vs parallel must agree bit-for-bit on the whole response-time
-matrix.
+grid) four ways — serial, serial with EA warm-starting, across a
+4-worker process pool, and through the batched queueing kernel — and
+verifies the core determinism guarantee: every execution mode must pick
+the *identical* timeout vector, and serial vs parallel vs batched must
+agree bit-for-bit on the whole response-time matrix.
+
+The serial/warm/parallel rows pin ``batch=False`` so the process-pool
+scaling is measured against the same per-combo kernel as PR 1; the
+batched row shows what the vectorized kernel adds on top.
 
 The >= 2x parallel wall-clock assertion only applies on machines that
 actually expose >= 4 CPUs; on smaller boxes the numbers are still
@@ -63,27 +67,37 @@ def test_policy_search_scaling():
     n_cpus = len(os.sched_getaffinity(0))
 
     (serial, t_serial) = _timed(
-        lambda: explore_timeouts(model, PAIR, UTILS, DEFAULT_TIMEOUT_GRID)
+        lambda: explore_timeouts(
+            model, PAIR, UTILS, DEFAULT_TIMEOUT_GRID, batch=False
+        )
     )
     (warm, t_warm) = _timed(
         lambda: explore_timeouts(
-            model, PAIR, UTILS, DEFAULT_TIMEOUT_GRID, warm_start=True
+            model, PAIR, UTILS, DEFAULT_TIMEOUT_GRID, warm_start=True,
+            batch=False,
         )
     )
     (par, t_par) = _timed(
         lambda: explore_timeouts(
-            model, PAIR, UTILS, DEFAULT_TIMEOUT_GRID, n_jobs=4
+            model, PAIR, UTILS, DEFAULT_TIMEOUT_GRID, n_jobs=4, batch=False
+        )
+    )
+    (batched, t_batch) = _timed(
+        lambda: explore_timeouts(
+            model, PAIR, UTILS, DEFAULT_TIMEOUT_GRID, batch=True
         )
     )
 
     combos, rt_serial = serial
     _, rt_warm = warm
     _, rt_par = par
+    _, rt_batch = batched
     assert len(combos) == 25
 
-    # Determinism guarantees: parallel is bit-identical to serial, and
-    # every mode lands on the same chosen timeout vector.
+    # Determinism guarantees: parallel and batched are bit-identical to
+    # serial, and every mode lands on the same chosen timeout vector.
     assert np.array_equal(rt_serial, rt_par)
+    assert np.array_equal(rt_serial, rt_batch)
     chosen = slo_matching(rt_serial)
     assert slo_matching(rt_par) == chosen
     assert slo_matching(rt_warm) == chosen
@@ -92,6 +106,7 @@ def test_policy_search_scaling():
         ["serial (cold)", t_serial, 1.0],
         ["serial (warm-start)", t_warm, t_serial / t_warm],
         ["4 workers", t_par, t_serial / t_par],
+        ["batched kernel", t_batch, t_serial / t_batch],
     ]
     print_block(
         format_table(

@@ -1,0 +1,134 @@
+"""Serial vs batched STAP queueing kernel at policy-search scale.
+
+Simulates the C = 25 conditions of one 5x5 timeout-grid round (k = 2
+servers each, heterogeneous timeouts/boosts) both ways and verifies the
+tentpole contract: the batched kernel must produce *bit-identical*
+results per condition while collapsing ~C x n interpreted heapq
+iterations into one vectorized loop of ~n steps.
+
+The equivalence assert always runs — including in smoke mode
+(``BENCH_SMOKE=1``), which CI uses on every push.  The >= 3x wall-clock
+assertion follows the policy-search benchmark convention: it only
+applies on machines exposing >= 4 CPUs (smaller boxes still record the
+numbers so regressions stay visible).
+
+Each full (non-smoke) run appends its timing summary to
+``BENCH_queue_kernel.json`` at the repo root, accumulating the kernel's
+performance trajectory across sessions.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.conftest import print_block
+from repro.analysis import format_table
+from repro.queueing import (
+    StapQueueConfig,
+    simulate_stap_queue,
+    simulate_stap_queue_batch,
+)
+
+N_CONDITIONS = 25
+N_QUERIES = 4000
+SMOKE = bool(int(os.environ.get("BENCH_SMOKE", "0")))
+RESULTS_JSON = Path(__file__).resolve().parents[1] / "BENCH_queue_kernel.json"
+
+
+def _grid_round(rng):
+    """One fixed-point round of the default 5x5 grid search: per-combo
+    timeouts, utilization-dependent arrivals, lognormal demands."""
+    timeouts = (0.0, 0.5, 1.0, 2.0, 4.0)
+    configs = [
+        StapQueueConfig(
+            n_servers=2,
+            mean_service_time=0.9 + 0.01 * (i % 7),
+            timeout=timeouts[i % 5],
+            boost_speedup=1.2 + 0.1 * (i % 4),
+        )
+        for i in range(N_CONDITIONS)
+    ]
+    gaps = rng.exponential(1.0, size=(N_CONDITIONS, N_QUERIES))
+    rates = 0.8 + 0.15 * rng.random(N_CONDITIONS)
+    arrivals = np.cumsum(gaps / rates[:, None], axis=1)
+    demands = rng.lognormal(0.0, 0.4, size=(N_CONDITIONS, N_QUERIES))
+    return arrivals, demands, configs
+
+
+def _record(row: dict) -> None:
+    history = []
+    if RESULTS_JSON.exists():
+        try:
+            history = json.loads(RESULTS_JSON.read_text())
+        except (json.JSONDecodeError, OSError):
+            history = []
+    history.append(row)
+    RESULTS_JSON.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def test_queue_kernel_scaling():
+    arrivals, demands, configs = _grid_round(np.random.default_rng(0))
+    n_cpus = len(os.sched_getaffinity(0))
+    reps = 1 if SMOKE else 5
+
+    # Identical-results assert: always on, every mode.
+    batch = simulate_stap_queue_batch(arrivals, demands, configs)
+    serial_results = [
+        simulate_stap_queue(arrivals[c], demands[c], configs[c])
+        for c in range(N_CONDITIONS)
+    ]
+    for c, serial in enumerate(serial_results):
+        assert np.array_equal(serial.start_times, batch.start_times[c])
+        assert np.array_equal(serial.completion_times, batch.completion_times[c])
+        assert np.array_equal(serial.boosted_time, batch.boosted_time[c])
+        assert np.array_equal(serial.boosted, batch.boosted[c])
+
+    # Best-of-N wall clock, interleaved to share any machine noise.
+    t_serial, t_batch = np.inf, np.inf
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        for c in range(N_CONDITIONS):
+            simulate_stap_queue(arrivals[c], demands[c], configs[c])
+        t_serial = min(t_serial, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        simulate_stap_queue_batch(arrivals, demands, configs)
+        t_batch = min(t_batch, time.perf_counter() - t0)
+    speedup = t_serial / t_batch
+
+    rows = [
+        ["serial x25", t_serial * 1e3, 1.0],
+        ["batched", t_batch * 1e3, speedup],
+    ]
+    print_block(
+        format_table(
+            ["kernel", "ms (best of %d)" % reps, "speedup"],
+            rows,
+            title=(
+                f"G/G/2 STAP kernel, C={N_CONDITIONS} conditions x "
+                f"{N_QUERIES} queries, {n_cpus} CPU(s)"
+                + (" [smoke]" if SMOKE else "")
+            ),
+        )
+    )
+
+    if not SMOKE:
+        _record(
+            {
+                "bench": "queue_kernel_scaling",
+                "timestamp": int(time.time()),
+                "n_conditions": N_CONDITIONS,
+                "n_queries": N_QUERIES,
+                "n_cpus": n_cpus,
+                "serial_s": round(t_serial, 6),
+                "batch_s": round(t_batch, 6),
+                "speedup": round(speedup, 3),
+            }
+        )
+        if n_cpus >= 4:
+            assert speedup >= 3.0, (
+                f"expected >= 3x batched speedup at C={N_CONDITIONS} on "
+                f"{n_cpus} CPUs, got {speedup:.2f}x"
+            )

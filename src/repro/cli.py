@@ -148,7 +148,12 @@ def _cmd_policy(args) -> int:
     model = StacModel(machine=machine, learner=args.learner, rng=args.seed).fit(ds)
     utils = tuple([args.utilization] * len(pair))
     decision = model_driven_policy(
-        model, pair, utils, n_jobs=args.jobs, warm_start=args.warm_start
+        model,
+        pair,
+        utils,
+        n_jobs=args.jobs,
+        warm_start=args.warm_start,
+        batch=not args.no_batch,
     )
     print(f"recommended timeouts (x service time): {decision.timeouts}")
     if args.verify:
@@ -235,6 +240,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--warm-start",
         action="store_true",
         help="warm-start the EA fixed point across neighbouring combos",
+    )
+    p_pol.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="force the serial queueing kernel for the grid search "
+        "(identical results; batched is faster)",
     )
     p_pol.set_defaults(func=_cmd_policy)
     return parser

@@ -111,21 +111,28 @@ class StacModel:
         if len(dataset) == 0:
             raise ValueError("dataset is empty")
         ea = self.ea_model.predict_dataset(dataset)
-        rt_mean = np.empty(len(dataset))
-        rt_p95 = np.empty(len(dataset))
+        # Every row is an independent queue condition: simulate them all
+        # through one batched kernel call (bit-identical to the serial
+        # per-row loop this replaced).
+        conds = []
         for i, row in enumerate(dataset.rows):
             c = row.condition
             spec = get_workload(row.service_name)
-            summary = self.rt_model.predict_response_time(
-                utilization=c.utilizations[row.service_idx],
-                timeout=c.timeouts[row.service_idx],
-                gross_increase=self._gross_increase(len(c.workloads), row.service_idx),
-                effective_allocation=float(ea[i]),
-                service_cv=spec.service_cv,
-                mean_service_time=self._default_service_time(spec),
+            conds.append(
+                dict(
+                    utilization=c.utilizations[row.service_idx],
+                    timeout=c.timeouts[row.service_idx],
+                    gross_increase=self._gross_increase(
+                        len(c.workloads), row.service_idx
+                    ),
+                    effective_allocation=float(ea[i]),
+                    service_cv=spec.service_cv,
+                    mean_service_time=self._default_service_time(spec),
+                )
             )
-            rt_mean[i] = summary.mean
-            rt_p95[i] = summary.p95
+        feedback = self.rt_model.simulate_many(conds)
+        rt_mean = np.array([f.summary.mean for f in feedback])
+        rt_p95 = np.array([f.summary.p95 for f in feedback])
         return {"ea": ea, "rt_mean": rt_mean, "rt_p95": rt_p95}
 
     def _default_service_time(self, spec) -> float:
@@ -221,6 +228,81 @@ class StacModel:
             blocks.append(ticks.T)
         return np.vstack(blocks)
 
+    def _init_eas(self, specs, grosses, ea_init) -> np.ndarray:
+        """Starting EAs for one condition's fixed point."""
+        n = len(specs)
+        mb = 1024 * 1024
+        if ea_init is not None:
+            eas = np.asarray(ea_init, dtype=float).copy()
+            if eas.shape != (n,):
+                raise ValueError(f"ea_init must have shape ({n},), got {eas.shape}")
+            if np.any(eas <= 0):
+                raise ValueError("ea_init entries must be > 0")
+            return eas
+        # Initial guess: no-contention first-principles EA.
+        return np.array(
+            [
+                ideal_effective_allocation(
+                    specs[i],
+                    self.private_mb * mb,
+                    self.shared_mb * mb,
+                    grosses[i],
+                )
+                for i in range(n)
+            ]
+        )
+
+    def _condition_round(self, condition, specs, grosses, feedback):
+        """One fixed-point round's model inputs for one condition.
+
+        Turns the services' queue feedback into the stacked static +
+        dynamic feature rows and nominal traces the EA model consumes.
+        """
+        n = len(specs)
+        boost_fracs = np.array([f.boost_fraction for f in feedback])
+        X_flat, traces = [], []
+        for i in range(n):
+            # Chain-neighbour convention, matching the profiler.
+            if n > 1:
+                partner = i + 1 if i < n - 1 else i - 1
+            else:
+                partner = None
+            xs = static_features(
+                specs[i],
+                condition.timeouts[i],
+                condition.utilizations[i],
+                grosses[i],
+                partner=specs[partner] if partner is not None else None,
+                partner_timeout=(
+                    condition.timeouts[partner] if partner is not None else np.inf
+                ),
+                partner_util=(
+                    condition.utilizations[partner]
+                    if partner is not None
+                    else 0.0
+                ),
+                partner_gross=grosses[partner] if partner is not None else 1.0,
+            )
+            # Little's law: mean queue length = lambda x mean wait.
+            lam = condition.utilizations[i] * self.rt_model.n_servers
+            partner_bf = (
+                boost_fracs[partner] if partner is not None else 0.0
+            )
+            xd = dynamic_features(
+                mean_queue_length=lam * feedback[i].mean_wait,
+                own_boost_fraction=boost_fracs[i],
+                partner_boost_fraction=partner_bf,
+                # Independence estimate of concurrent boosting.
+                concurrent_boost_fraction=boost_fracs[i] * partner_bf,
+            )
+            X_flat.append(np.concatenate([xs, xd]))
+            traces.append(
+                self._nominal_trace(
+                    specs, i, condition.utilizations, boost_fracs
+                )
+            )
+        return np.stack(X_flat), np.stack(traces)
+
     def predict_condition(
         self,
         condition: RuntimeCondition,
@@ -232,7 +314,8 @@ class StacModel:
         Runs the Stage 3 queueing simulator and Stage 2 EA model to a
         fixed point: the simulator's queue feedback shapes the dynamic
         features and nominal traces, whose EA predictions update the
-        simulator's boosted rate.
+        simulator's boosted rate.  (Thin wrapper over
+        :meth:`predict_conditions` with a single condition.)
 
         Parameters
         ----------
@@ -247,92 +330,119 @@ class StacModel:
             most ``n_iterations`` iterations either way).  The default 0
             always runs all iterations.
         """
-        specs = [get_workload(n) for n in condition.workloads]
-        n = len(specs)
-        grosses = [self._gross_increase(n, i) for i in range(n)]
-        mb = 1024 * 1024
-        if ea_init is not None:
-            eas = np.asarray(ea_init, dtype=float).copy()
-            if eas.shape != (n,):
-                raise ValueError(f"ea_init must have shape ({n},), got {eas.shape}")
-            if np.any(eas <= 0):
-                raise ValueError("ea_init entries must be > 0")
-        else:
-            # Initial guess: no-contention first-principles EA.
-            eas = np.array(
-                [
-                    ideal_effective_allocation(
-                        specs[i],
-                        self.private_mb * mb,
-                        self.shared_mb * mb,
-                        grosses[i],
-                    )
-                    for i in range(n)
-                ]
+        return self.predict_conditions(
+            [condition], ea_inits=[ea_init], ea_tol=ea_tol
+        )[0]
+
+    def predict_conditions(
+        self,
+        conditions,
+        ea_inits=None,
+        ea_tol: float = 0.0,
+        use_batch: bool | None = None,
+    ) -> list[ConditionPrediction]:
+        """Predict many hypothetical conditions in lockstep.
+
+        Runs every condition's EA fixed point simultaneously so that
+        each round simulates all collocated services of all conditions
+        through one batched kernel call
+        (:meth:`ResponseTimeModel.simulate_many`).  Conditions are
+        mutually independent, so each result is bit-identical to a
+        standalone :meth:`predict_condition` call; with ``ea_tol > 0``
+        conditions leave the lockstep individually as they converge,
+        exactly where their serial loop would have stopped.
+
+        Parameters
+        ----------
+        conditions:
+            :class:`RuntimeCondition` instances (service counts may
+            differ between them).
+        ea_inits:
+            Optional per-condition starting EAs (entries may be
+            ``None``); one entry per condition.
+        use_batch:
+            Forwarded to :meth:`ResponseTimeModel.simulate_many`:
+            ``None`` auto-selects the batched kernel by condition
+            count, ``True``/``False`` force a path (results are
+            identical either way).
+        """
+        conditions = list(conditions)
+        if ea_inits is None:
+            ea_inits = [None] * len(conditions)
+        ea_inits = list(ea_inits)
+        if len(ea_inits) != len(conditions):
+            raise ValueError(
+                f"got {len(ea_inits)} ea_inits for {len(conditions)} conditions"
             )
-        feedback: list[QueueFeedback] = [None] * n
+        specs_per = [
+            [get_workload(n) for n in cond.workloads] for cond in conditions
+        ]
+        grosses_per = [
+            [self._gross_increase(len(specs), i) for i in range(len(specs))]
+            for specs in specs_per
+        ]
+        eas_per = [
+            self._init_eas(specs, grosses, init)
+            for specs, grosses, init in zip(specs_per, grosses_per, ea_inits)
+        ]
+        feedback_per: list[list[QueueFeedback]] = [None] * len(conditions)
+        X_per: list[np.ndarray] = [None] * len(conditions)
+        traces_per: list[np.ndarray] = [None] * len(conditions)
+        active = list(range(len(conditions)))
         for _ in range(self.n_iterations):
-            for i in range(n):
-                feedback[i] = self.rt_model.simulate(
-                    utilization=condition.utilizations[i],
-                    timeout=condition.timeouts[i],
-                    gross_increase=grosses[i],
-                    effective_allocation=float(eas[i]),
-                    service_cv=specs[i].service_cv,
-                    mean_service_time=self._default_service_time(specs[i]),
+            sim_conds = []
+            for ci in active:
+                cond, specs, grosses, eas = (
+                    conditions[ci], specs_per[ci], grosses_per[ci], eas_per[ci],
                 )
-            boost_fracs = np.array([f.boost_fraction for f in feedback])
-            X_flat, traces = [], []
-            for i in range(n):
-                # Chain-neighbour convention, matching the profiler.
-                if n > 1:
-                    partner = i + 1 if i < n - 1 else i - 1
-                else:
-                    partner = None
-                xs = static_features(
-                    specs[i],
-                    condition.timeouts[i],
-                    condition.utilizations[i],
-                    grosses[i],
-                    partner=specs[partner] if partner is not None else None,
-                    partner_timeout=(
-                        condition.timeouts[partner] if partner is not None else np.inf
-                    ),
-                    partner_util=(
-                        condition.utilizations[partner]
-                        if partner is not None
-                        else 0.0
-                    ),
-                    partner_gross=grosses[partner] if partner is not None else 1.0,
-                )
-                # Little's law: mean queue length = lambda x mean wait.
-                lam = condition.utilizations[i] * self.rt_model.n_servers
-                partner_bf = (
-                    boost_fracs[partner] if partner is not None else 0.0
-                )
-                xd = dynamic_features(
-                    mean_queue_length=lam * feedback[i].mean_wait,
-                    own_boost_fraction=boost_fracs[i],
-                    partner_boost_fraction=partner_bf,
-                    # Independence estimate of concurrent boosting.
-                    concurrent_boost_fraction=boost_fracs[i] * partner_bf,
-                )
-                X_flat.append(np.concatenate([xs, xd]))
-                traces.append(
-                    self._nominal_trace(
-                        specs, i, condition.utilizations, boost_fracs
+                for i in range(len(specs)):
+                    sim_conds.append(
+                        dict(
+                            utilization=cond.utilizations[i],
+                            timeout=cond.timeouts[i],
+                            gross_increase=grosses[i],
+                            effective_allocation=float(eas[i]),
+                            service_cv=specs[i].service_cv,
+                            mean_service_time=self._default_service_time(
+                                specs[i]
+                            ),
+                        )
                     )
+            all_feedback = self.rt_model.simulate_many(
+                sim_conds, use_batch=use_batch
+            )
+            pos = 0
+            still_active = []
+            for ci in active:
+                n = len(specs_per[ci])
+                feedback_per[ci] = all_feedback[pos : pos + n]
+                pos += n
+                X_per[ci], traces_per[ci] = self._condition_round(
+                    conditions[ci], specs_per[ci], grosses_per[ci],
+                    feedback_per[ci],
                 )
-            X_flat_arr, traces_arr = np.stack(X_flat), np.stack(traces)
-            new_eas = self.ea_model.predict(X_flat_arr, traces_arr)
-            converged = float(np.max(np.abs(new_eas - eas))) <= ea_tol
-            eas = new_eas
-            if ea_tol > 0 and converged:
+                # One EA-model call per condition — identical input
+                # stacking to the serial path, so identical predictions
+                # for every learner.
+                new_eas = self.ea_model.predict(X_per[ci], traces_per[ci])
+                converged = (
+                    float(np.max(np.abs(new_eas - eas_per[ci]))) <= ea_tol
+                )
+                eas_per[ci] = new_eas
+                if not (ea_tol > 0 and converged):
+                    still_active.append(ci)
+            active = still_active
+            if not active:
                 break
-        return ConditionPrediction(
-            summaries=[f.summary for f in feedback],
-            effective_allocations=eas,
-            boost_fractions=np.array([f.boost_fraction for f in feedback]),
-            X_flat=X_flat_arr,
-            traces=traces_arr,
-        )
+        return [
+            ConditionPrediction(
+                summaries=[f.summary for f in feedback_per[ci]],
+                effective_allocations=eas_per[ci],
+                boost_fractions=np.array(
+                    [f.boost_fraction for f in feedback_per[ci]]
+                ),
+                X_flat=X_per[ci],
+                traces=traces_per[ci],
+            )
+            for ci in range(len(conditions))
+        ]

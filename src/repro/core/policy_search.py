@@ -18,8 +18,17 @@ properties keep parallel and serial searches bit-identical:
   instead of being regenerated per combo;
 - warm-starting flows only *within* a run — the block of consecutive
   combinations in which only the last service's timeout varies — and
-  whole runs are the unit of work distribution, so the EA fixed point
-  sees the same initialization chain under any worker count.
+  runs never straddle chunk boundaries, so the EA fixed point sees the
+  same initialization chain under any worker count.
+
+Two more levers compose with the fan-out: without warm-starting,
+every combination a worker owns is simulated through the *batched*
+queueing kernel (:func:`~repro.queueing.ggk.simulate_stap_queue_batch`
+via :meth:`StacModel.predict_conditions`), collapsing ~combos x
+queries Python iterations per fixed-point round into ~queries; and
+work is distributed as contiguous *chunks* of runs, so the pickled
+model crosses each process boundary once per worker instead of once
+per run.  Both are bit-identity-preserving rearrangements.
 """
 
 from __future__ import annotations
@@ -76,31 +85,51 @@ def slo_matching(
     return int(np.argmin((rt / best).max(axis=1)))
 
 
-def _predict_run(args) -> np.ndarray:
-    """Worker: predict one warm-start run of consecutive combinations.
-
-    Within the run each combination's converged EAs seed the next one's
-    fixed point (when ``warm_start``); the first combination always
-    starts from the model's first-principles guess, so a run's output
-    depends only on (model, run) — never on worker assignment.
-    """
-    model, workloads, utilizations, combos, statistic, warm_start, ea_tol = args
-    rt = np.empty((len(combos), len(workloads)))
-    eas = None
-    for k, combo in enumerate(combos):
-        cond = RuntimeCondition(
+def _conditions(workloads, utilizations, combos) -> list[RuntimeCondition]:
+    return [
+        RuntimeCondition(
             workloads=workloads,
             utilizations=utilizations,
             timeouts=combo,
         )
-        pred = model.predict_condition(
-            cond,
-            ea_init=eas if warm_start else None,
-            ea_tol=ea_tol if warm_start else 0.0,
+        for combo in combos
+    ]
+
+
+def _predict_chunk(args) -> np.ndarray:
+    """Worker: predict a chunk of consecutive grid runs.
+
+    Whole chunks are the unit of work distribution, so the (pickled)
+    model crosses the process boundary once per chunk rather than once
+    per run.  Without warm-starting every combination is independent
+    and the chunk is predicted as one batched lockstep
+    (:meth:`StacModel.predict_conditions`); with warm-starting each
+    run's combinations chain sequentially — each combination's
+    converged EAs seed the next one's fixed point, the first always
+    starting from the model's first-principles guess — so a run's
+    output depends only on (model, run), never on worker assignment.
+    """
+    (model, workloads, utilizations, runs, statistic,
+     warm_start, ea_tol, batch) = args
+    if not warm_start:
+        combos = [combo for run in runs for combo in run]
+        preds = model.predict_conditions(
+            _conditions(workloads, utilizations, combos),
+            use_batch=None if batch else False,
         )
-        rt[k] = [getattr(s, statistic) for s in pred.summaries]
-        eas = pred.effective_allocations
-    return rt
+        return np.array(
+            [[getattr(s, statistic) for s in p.summaries] for p in preds]
+        )
+    parts = []
+    for run in runs:
+        rt = np.empty((len(run), len(workloads)))
+        eas = None
+        for k, cond in enumerate(_conditions(workloads, utilizations, run)):
+            pred = model.predict_condition(cond, ea_init=eas, ea_tol=ea_tol)
+            rt[k] = [getattr(s, statistic) for s in pred.summaries]
+            eas = pred.effective_allocations
+        parts.append(rt)
+    return np.vstack(parts)
 
 
 def explore_timeouts(
@@ -112,6 +141,7 @@ def explore_timeouts(
     n_jobs: int = 1,
     warm_start: bool = False,
     ea_tol: float = 1e-3,
+    batch: bool = True,
 ) -> tuple[list[tuple[float, ...]], np.ndarray]:
     """Predict response times for every timeout combination.
 
@@ -132,6 +162,13 @@ def explore_timeouts(
         default because it changes predictions by up to ``ea_tol``.
     ea_tol:
         Early-exit tolerance for warm-started fixed points.
+    batch:
+        Simulate each worker's combinations through the batched
+        queueing kernel (one vectorized pass per fixed-point round)
+        instead of combo-by-combo.  Bit-identical results either way;
+        ``False`` forces the serial kernel.  Ignored under
+        ``warm_start``, whose sequential EA chaining is incompatible
+        with cross-combination batching.
     """
     if statistic not in _STATISTICS:
         raise ValueError(f"unknown statistic {statistic!r}")
@@ -142,18 +179,24 @@ def explore_timeouts(
         raise ValueError("timeout_grid must not be empty")
     combos = list(itertools.product(grid, repeat=len(workloads)))
     # A "run" = consecutive combos in which only the last service's
-    # timeout varies: the warm-start unit and the parallel work unit.
+    # timeout varies: the warm-start unit and the smallest unit of
+    # work distribution.
     runs = [combos[i : i + len(grid)] for i in range(0, len(combos), len(grid))]
+    # Contiguous chunks of runs, one per worker: the model is pickled
+    # once per chunk instead of once per run.
+    n_chunks = min(n_jobs, len(runs)) if n_jobs > 1 else 1
+    bounds = np.linspace(0, len(runs), n_chunks + 1).astype(int)
+    chunks = [runs[a:b] for a, b in zip(bounds[:-1], bounds[1:])]
     jobs = [
-        (model, tuple(workloads), tuple(utilizations), run, statistic,
-         warm_start, ea_tol)
-        for run in runs
+        (model, tuple(workloads), tuple(utilizations), chunk, statistic,
+         warm_start, ea_tol, batch)
+        for chunk in chunks
     ]
-    if n_jobs > 1 and len(jobs) > 1:
-        with ProcessPoolExecutor(max_workers=min(n_jobs, len(jobs))) as pool:
-            parts = list(pool.map(_predict_run, jobs))
+    if len(jobs) > 1:
+        with ProcessPoolExecutor(max_workers=len(jobs)) as pool:
+            parts = list(pool.map(_predict_chunk, jobs))
     else:
-        parts = [_predict_run(job) for job in jobs]
+        parts = [_predict_chunk(job) for job in jobs]
     return combos, np.vstack(parts)
 
 
@@ -167,11 +210,13 @@ def model_driven_policy(
     name: str = "model-driven",
     n_jobs: int = 1,
     warm_start: bool = False,
+    batch: bool = True,
 ) -> PolicyDecision:
     """The paper's policy: explore with the model, match with the SLO rule.
 
-    ``n_jobs``/``warm_start`` tune :func:`explore_timeouts`; the chosen
-    timeout vector is identical for every ``n_jobs``.
+    ``n_jobs``/``warm_start``/``batch`` tune :func:`explore_timeouts`;
+    the chosen timeout vector is identical for every ``n_jobs`` and
+    either ``batch`` setting.
     """
     combos, rt = explore_timeouts(
         model,
@@ -181,6 +226,7 @@ def model_driven_policy(
         statistic,
         n_jobs=n_jobs,
         warm_start=warm_start,
+        batch=batch,
     )
     chosen = slo_matching(rt, tolerance=tolerance)
     return PolicyDecision(name, combos[chosen])

@@ -13,8 +13,20 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro._util import as_rng
-from repro.queueing.ggk import StapQueueConfig, simulate_stap_queue
+from repro.queueing.ggk import (
+    StapQueueConfig,
+    simulate_stap_queue,
+    simulate_stap_queue_batch,
+)
 from repro.queueing.metrics import ResponseTimeSummary, summarize_response_times
+
+#: Below this many conditions a batched kernel call is slower than the
+#: serial per-condition loop (the batch inner loop is ufunc-dispatch
+#: bound, costing roughly the same per query whether it carries 2
+#: conditions or 50), so :meth:`ResponseTimeModel.simulate_many`
+#: auto-dispatches to the serial path.  Results are bit-identical either
+#: way; the threshold is purely a performance crossover.
+MIN_BATCH_CONDITIONS = 8
 
 
 @dataclass(frozen=True)
@@ -119,6 +131,92 @@ class ResponseTimeModel:
             p95_wait=float(np.percentile(waits, 95)),
             boost_fraction=res.boost_fraction,
         )
+
+    def simulate_many(
+        self,
+        conditions,
+        use_batch: bool | None = None,
+    ) -> list[QueueFeedback]:
+        """Simulate ``C`` conditions against the one shared sample.
+
+        Each entry of ``conditions`` is a mapping of :meth:`simulate`
+        keyword arguments (``utilization``, ``timeout``,
+        ``gross_increase``, ``effective_allocation`` and optionally
+        ``service_cv``, ``mean_service_time``).  All conditions reuse
+        the cached unit-scale draws, rescaled per condition exactly as
+        :meth:`simulate` does, so every returned
+        :class:`QueueFeedback` is bit-identical to a serial
+        :meth:`simulate` call with the same arguments.
+
+        ``use_batch=None`` picks the faster path automatically: the
+        batched kernel (one Python loop over queries for all conditions
+        at once) from :data:`MIN_BATCH_CONDITIONS` conditions up, the
+        serial per-condition loop below that.  Forcing either value
+        changes wall-clock only, never results.
+        """
+        conds = [dict(c) for c in conditions]
+        if not conds:
+            return []
+        if use_batch is None:
+            use_batch = len(conds) >= MIN_BATCH_CONDITIONS
+        if not use_batch:
+            return [self.simulate(**c) for c in conds]
+
+        gaps, normals = self._base()
+        n_conditions = len(conds)
+        arrivals = np.empty((n_conditions, self.n_queries))
+        demands = np.empty((n_conditions, self.n_queries))
+        configs = []
+        for c, cond in enumerate(conds):
+            utilization = cond["utilization"]
+            effective_allocation = cond["effective_allocation"]
+            service_cv = cond.get("service_cv", 0.35)
+            mean_service_time = cond.get("mean_service_time", 1.0)
+            if not 0 < utilization < 1:
+                raise ValueError("utilization must be in (0, 1)")
+            if effective_allocation <= 0:
+                raise ValueError("effective_allocation must be > 0")
+            if mean_service_time <= 0:
+                raise ValueError("mean_service_time must be > 0")
+            # Per-condition 1-D rescale: the identical floating-point
+            # operations, in the identical order, as simulate().
+            rate = utilization * self.n_servers / mean_service_time
+            arrivals[c] = np.cumsum((1.0 / rate) * gaps)
+            if service_cv > 0:
+                sigma2 = np.log1p(service_cv**2)
+                demands[c] = np.exp(-0.5 * sigma2 + np.sqrt(sigma2) * normals)
+            else:
+                demands[c] = 1.0
+            boost_speedup = max(
+                effective_allocation * cond["gross_increase"], 0.1
+            )
+            configs.append(
+                StapQueueConfig(
+                    n_servers=self.n_servers,
+                    mean_service_time=mean_service_time,
+                    timeout=cond["timeout"] / mean_service_time,
+                    boost_speedup=boost_speedup,
+                )
+            )
+        res = simulate_stap_queue_batch(arrivals, demands, configs).drop_warmup(
+            self.warmup_fraction
+        )
+        rts = res.response_times
+        waits = res.wait_times
+        out = []
+        for c in range(n_conditions):
+            w = waits[c]
+            out.append(
+                QueueFeedback(
+                    summary=summarize_response_times(rts[c]),
+                    mean_wait=float(w.mean()),
+                    p95_wait=float(np.percentile(w, 95)),
+                    boost_fraction=float(res.boosted[c].mean())
+                    if res.boosted.shape[1]
+                    else 0.0,
+                )
+            )
+        return out
 
     def predict_response_time(
         self,

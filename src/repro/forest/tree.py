@@ -103,45 +103,65 @@ class RegressionTree:
         return len(self._feature) - 1
 
     def _build(self, X, y, idx, depth) -> int:
-        node = self._new_node()
-        yn = y[idx]
-        self._value[node] = float(yn.mean())
-        n = idx.shape[0]
-        if (
-            n < 2 * self.min_samples_leaf
-            or (self.max_depth is not None and depth >= self.max_depth)
-            or np.all(yn == yn[0])
-        ):
-            return node
-        split = (
-            self._best_split(X, yn, idx)
-            if self.splitter == "best"
-            else self._random_split(X, idx)
-        )
-        if split is None:
-            return node
-        f, thr = split
-        mask = X[idx, f] <= thr
-        left_idx, right_idx = idx[mask], idx[~mask]
-        if (
-            left_idx.shape[0] < self.min_samples_leaf
-            or right_idx.shape[0] < self.min_samples_leaf
-        ):
-            return node
-        self._feature[node] = f
-        self._threshold[node] = thr
-        # Impurity decrease: parent SSE minus the children's SSE.
-        yl, yr = y[left_idx], y[right_idx]
-        decrease = (
-            float(((yn - yn.mean()) ** 2).sum())
-            - float(((yl - yl.mean()) ** 2).sum())
-            - float(((yr - yr.mean()) ** 2).sum())
-        )
-        self._importance[f] += max(decrease, 0.0)
-        self._depth = max(self._depth, depth + 1)
-        self._left[node] = self._build(X, y, left_idx, depth + 1)
-        self._right[node] = self._build(X, y, right_idx, depth + 1)
-        return node
+        """Grow the subtree rooted at ``idx`` with an explicit stack.
+
+        Iterative preorder (node, then left subtree, then right) with a
+        LIFO stack, pushing the right child first: nodes are numbered —
+        and the splitter's rng consumed — in exactly the order the
+        previous recursive implementation used, so fitted trees are
+        bit-identical while unbounded-depth fits (``max_depth=None``)
+        no longer risk ``RecursionError``.
+        """
+        root = None
+        # Frame: (sample indices, depth, parent node, is-left-child).
+        stack = [(idx, depth, -1, False)]
+        while stack:
+            idx, depth, parent, is_left = stack.pop()
+            node = self._new_node()
+            if parent < 0:
+                root = node
+            elif is_left:
+                self._left[parent] = node
+            else:
+                self._right[parent] = node
+            yn = y[idx]
+            self._value[node] = float(yn.mean())
+            n = idx.shape[0]
+            if (
+                n < 2 * self.min_samples_leaf
+                or (self.max_depth is not None and depth >= self.max_depth)
+                or np.all(yn == yn[0])
+            ):
+                continue
+            split = (
+                self._best_split(X, yn, idx)
+                if self.splitter == "best"
+                else self._random_split(X, idx)
+            )
+            if split is None:
+                continue
+            f, thr = split
+            mask = X[idx, f] <= thr
+            left_idx, right_idx = idx[mask], idx[~mask]
+            if (
+                left_idx.shape[0] < self.min_samples_leaf
+                or right_idx.shape[0] < self.min_samples_leaf
+            ):
+                continue
+            self._feature[node] = f
+            self._threshold[node] = thr
+            # Impurity decrease: parent SSE minus the children's SSE.
+            yl, yr = y[left_idx], y[right_idx]
+            decrease = (
+                float(((yn - yn.mean()) ** 2).sum())
+                - float(((yl - yl.mean()) ** 2).sum())
+                - float(((yr - yr.mean()) ** 2).sum())
+            )
+            self._importance[f] += max(decrease, 0.0)
+            self._depth = max(self._depth, depth + 1)
+            stack.append((right_idx, depth + 1, node, False))
+            stack.append((left_idx, depth + 1, node, True))
+        return root
 
     def _best_split(self, X, yn, idx) -> tuple[int, float] | None:
         n, d = idx.shape[0], X.shape[1]

@@ -39,6 +39,9 @@ class AdaptiveTimeoutController:
     warm_start:
         Warm-start the EA fixed point across neighbouring grid
         combinations when exploring (see :func:`explore_timeouts`).
+    batch:
+        Simulate grid combinations through the batched queueing kernel
+        (see :func:`explore_timeouts`; bit-identical plans either way).
     """
 
     model: StacModel
@@ -48,6 +51,7 @@ class AdaptiveTimeoutController:
     statistic: str = "p95"
     n_jobs: int = 1
     warm_start: bool = False
+    batch: bool = True
     _plans: dict = field(default_factory=dict, init=False)
 
     def __post_init__(self) -> None:
@@ -90,6 +94,7 @@ class AdaptiveTimeoutController:
                 name="adaptive",
                 n_jobs=self.n_jobs,
                 warm_start=self.warm_start,
+                batch=self.batch,
             )
         return self._plans[key]
 

@@ -13,7 +13,13 @@ from repro.queueing.distributions import (
     Hyperexponential,
     Empirical,
 )
-from repro.queueing.ggk import StapQueueConfig, QueueResult, simulate_stap_queue
+from repro.queueing.ggk import (
+    BatchQueueResult,
+    StapQueueConfig,
+    QueueResult,
+    simulate_stap_queue,
+    simulate_stap_queue_batch,
+)
 from repro.queueing.mmk import (
     erlang_c,
     ggk_mean_response_approx,
@@ -34,9 +40,11 @@ __all__ = [
     "LogNormal",
     "Hyperexponential",
     "Empirical",
+    "BatchQueueResult",
     "StapQueueConfig",
     "QueueResult",
     "simulate_stap_queue",
+    "simulate_stap_queue_batch",
     "erlang_c",
     "ggk_mean_response_approx",
     "ggk_mean_wait_approx",

@@ -106,6 +106,69 @@ class QueueResult:
         )
 
 
+@dataclass
+class BatchQueueResult:
+    """Per-query outcomes of ``C`` simultaneously simulated conditions.
+
+    Every array is ``(C, n)``; row ``c`` is bit-identical to the
+    corresponding :class:`QueueResult` of a serial
+    :func:`simulate_stap_queue` run under ``configs[c]``.
+    """
+
+    arrival_times: np.ndarray
+    start_times: np.ndarray
+    completion_times: np.ndarray
+    boosted: np.ndarray  # bool: did short-term allocation trigger?
+    boosted_time: np.ndarray  # seconds each query spent boosted
+
+    @property
+    def n_conditions(self) -> int:
+        return self.arrival_times.shape[0]
+
+    @property
+    def response_times(self) -> np.ndarray:
+        return self.completion_times - self.arrival_times
+
+    @property
+    def wait_times(self) -> np.ndarray:
+        return self.start_times - self.arrival_times
+
+    @property
+    def boost_fractions(self) -> np.ndarray:
+        """Per-condition fraction of queries that triggered boosting."""
+        if self.boosted.shape[1] == 0:
+            return np.zeros(self.n_conditions)
+        return self.boosted.mean(axis=1)
+
+    def condition(self, c: int) -> QueueResult:
+        """The serial-equivalent :class:`QueueResult` of condition ``c``.
+
+        Rows of the C-contiguous batch arrays are themselves contiguous,
+        so downstream reductions (means, percentiles) see exactly the
+        memory layout a serial run would have produced.
+        """
+        return QueueResult(
+            arrival_times=self.arrival_times[c],
+            start_times=self.start_times[c],
+            completion_times=self.completion_times[c],
+            boosted=self.boosted[c],
+            boosted_time=self.boosted_time[c],
+        )
+
+    def drop_warmup(self, fraction: float) -> "BatchQueueResult":
+        """Discard the first ``fraction`` of queries in every condition."""
+        if not 0 <= fraction < 1:
+            raise ValueError("fraction must be in [0, 1)")
+        k = int(self.arrival_times.shape[1] * fraction)
+        return BatchQueueResult(
+            np.ascontiguousarray(self.arrival_times[:, k:]),
+            np.ascontiguousarray(self.start_times[:, k:]),
+            np.ascontiguousarray(self.completion_times[:, k:]),
+            np.ascontiguousarray(self.boosted[:, k:]),
+            np.ascontiguousarray(self.boosted_time[:, k:]),
+        )
+
+
 def _service_duration(
     start: float, warn_at: float, work: float, boost_speedup: float
 ) -> tuple[float, float]:
@@ -184,5 +247,229 @@ def simulate_stap_queue(
         start_times=starts,
         completion_times=completions,
         boosted=boosted,
+        boosted_time=boosted_time,
+    )
+
+
+# The per-query service step shared by the three loop specializations
+# below (inlined in each: at C ~ 25 the loops are ufunc-dispatch-bound,
+# so the call frame and module-global lookups of a helper would cost
+# ~15% of the whole kernel).  Each iteration evaluates, elementwise over
+# conditions, the serial kernel's closed-form duration:
+#
+#     thr  = t0 + work
+#     done = max(warn - t0, 0)          # default-rate work pre-warning
+#     done = work         where warn >= thr   # no-boost branch
+#     rem  = (work - done) / boost      # boosted-rate remainder
+#     t1   = t0 + (done + rem)
+#
+# The no-boost *selector* is the serial one verbatim — ``warn_at >=
+# start + work`` on the identical floating-point intermediates — so
+# branch selection, and therefore every output bit, matches a
+# per-condition serial run even where rounding puts ``warn_at`` within
+# one ulp of the branch boundary.  The boosted-from-the-start branch
+# needs no mask: ``warn_at <= start`` implies ``fl(warn_at - start)
+# <= 0`` exactly (IEEE subtraction preserves sign), so clamping ``done``
+# at zero selects it bit-identically.  ``boost == 1`` conditions are
+# handled upstream by forcing ``warn_at = inf``, which lands them in the
+# no-boost branch exactly as the serial kernel's first conditional does.
+
+
+def _batch_loop_k1(arr_t, works_t, warn_t, boost, starts_t, comp_t, btime_t):
+    """Single-server inner loop: the earliest-free 'heap' is one scalar
+    per condition — the previous completion row."""
+    n_conditions = boost.shape[0]
+    free = np.zeros(n_conditions)
+    done = np.empty(n_conditions)
+    thr = np.empty(n_conditions)
+    m1 = np.empty(n_conditions, dtype=bool)
+    zeros = np.zeros(n_conditions)
+    add, sub, div = np.add, np.subtract, np.divide
+    vmax, ge, put = np.maximum, np.greater_equal, np.putmask
+    for a, work, warn, t0, t1, rem in zip(
+        arr_t, works_t, warn_t, starts_t, comp_t, btime_t
+    ):
+        vmax(a, free, out=t0)
+        add(t0, work, out=thr)
+        sub(warn, t0, out=done)
+        vmax(done, zeros, out=done)
+        ge(warn, thr, out=m1)
+        put(done, m1, work)
+        sub(work, done, out=rem)
+        div(rem, boost, out=rem)
+        add(done, rem, out=done)
+        add(t0, done, out=t1)
+        free = t1
+
+
+def _batch_loop_k2(arr_t, works_t, warn_t, boost, starts_t, comp_t, btime_t):
+    """Two-server inner loop (the paper's per-service core count).
+
+    Server free times are kept sorted (``f0 <= f1``) so dispatch is a
+    read of ``f0`` and re-insertion is one ``minimum``/``maximum`` pair —
+    no per-condition heap, no argmin.
+    """
+    n_conditions = boost.shape[0]
+    f0 = np.zeros(n_conditions)
+    f1 = np.zeros(n_conditions)
+    done = np.empty(n_conditions)
+    thr = np.empty(n_conditions)
+    m1 = np.empty(n_conditions, dtype=bool)
+    zeros = np.zeros(n_conditions)
+    add, sub, div = np.add, np.subtract, np.divide
+    vmax, vmin, ge, put = np.maximum, np.minimum, np.greater_equal, np.putmask
+    for a, work, warn, t0, t1, rem in zip(
+        arr_t, works_t, warn_t, starts_t, comp_t, btime_t
+    ):
+        vmax(a, f0, out=t0)
+        add(t0, work, out=thr)
+        sub(warn, t0, out=done)
+        vmax(done, zeros, out=done)
+        ge(warn, thr, out=m1)
+        put(done, m1, work)
+        sub(work, done, out=rem)
+        div(rem, boost, out=rem)
+        add(done, rem, out=done)
+        add(t0, done, out=t1)
+        vmin(f1, t1, out=f0)
+        vmax(f1, t1, out=f1)
+
+
+def _batch_loop_general(
+    arr_t, works_t, warn_t, boost, starts_t, comp_t, btime_t, configs
+):
+    """General inner loop: (C, k_max) free-time matrix with argmin
+    dispatch; conditions with fewer servers pad with never-free inf
+    slots that cannot win the argmin."""
+    n_conditions = boost.shape[0]
+    k_max = max(c.n_servers for c in configs)
+    free = np.zeros((n_conditions, k_max))
+    for c, cfg in enumerate(configs):
+        free[c, cfg.n_servers :] = np.inf
+    rows = np.arange(n_conditions)
+    done = np.empty(n_conditions)
+    thr = np.empty(n_conditions)
+    m1 = np.empty(n_conditions, dtype=bool)
+    zeros = np.zeros(n_conditions)
+    add, sub, div, argmin = np.add, np.subtract, np.divide, np.argmin
+    vmax, ge, put = np.maximum, np.greater_equal, np.putmask
+    for a, work, warn, t0, t1, rem in zip(
+        arr_t, works_t, warn_t, starts_t, comp_t, btime_t
+    ):
+        j = argmin(free, axis=1)
+        vmax(a, free[rows, j], out=t0)
+        add(t0, work, out=thr)
+        sub(warn, t0, out=done)
+        vmax(done, zeros, out=done)
+        ge(warn, thr, out=m1)
+        put(done, m1, work)
+        sub(work, done, out=rem)
+        div(rem, boost, out=rem)
+        add(done, rem, out=done)
+        add(t0, done, out=t1)
+        free[rows, j] = t1
+
+
+def _as_condition_rows(name: str, values, n_conditions: int) -> np.ndarray:
+    """Coerce ``(n,)`` broadcast or ``(C, n)`` per-condition input."""
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim == 1:
+        arr = np.broadcast_to(arr, (n_conditions,) + arr.shape)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be a 1-D or 2-D array, got ndim={arr.ndim}")
+    if arr.shape[0] != n_conditions:
+        raise ValueError(
+            f"{name} has {arr.shape[0]} condition rows, expected {n_conditions}"
+        )
+    return np.ascontiguousarray(arr)
+
+
+def simulate_stap_queue_batch(
+    arrival_times,
+    demands,
+    configs,
+) -> BatchQueueResult:
+    """FCFS G/G/k simulation of ``C`` conditions simultaneously.
+
+    One Python loop over the ``n`` queries with all per-condition state
+    held in ``(C,)`` and ``(C, k)`` arrays: each iteration dispatches one
+    query *per condition* to that condition's earliest-free server
+    (``np.argmin`` along the server axis replaces the serial path's
+    per-condition heap).  The arithmetic — ``max(a, min(free))``
+    dispatch and the closed-form mid-execution rate switch — is the
+    serial kernel's, applied elementwise, so every condition row is
+    **bit-identical** (``np.array_equal``) to a serial
+    :func:`simulate_stap_queue` run under the same config.
+
+    Parameters
+    ----------
+    arrival_times:
+        Sorted absolute arrival timestamps: ``(n,)`` to broadcast one
+        arrival process across all conditions, or ``(C, n)`` with one
+        row per condition (each row sorted).
+    demands:
+        Per-query work multipliers, ``(n,)`` broadcast or ``(C, n)``.
+    configs:
+        One :class:`StapQueueConfig` per condition.  Server counts may
+        differ between conditions; the state matrix is padded to the
+        largest ``n_servers`` with never-free (``inf``) slots.
+    """
+    configs = list(configs)
+    n_conditions = len(configs)
+    if n_conditions == 0:
+        raise ValueError("configs must not be empty")
+    for cfg in configs:
+        if not isinstance(cfg, StapQueueConfig):
+            raise TypeError(f"configs must be StapQueueConfig, got {type(cfg)!r}")
+    arrivals = _as_condition_rows("arrival_times", arrival_times, n_conditions)
+    demand = _as_condition_rows("demands", demands, n_conditions)
+    if arrivals.shape != demand.shape:
+        raise ValueError(
+            "arrival_times and demands must have matching shapes, got "
+            f"{arrivals.shape} vs {demand.shape}"
+        )
+    if not np.all(np.isfinite(arrivals)):
+        raise ValueError("arrival_times must be finite (no NaN/inf)")
+    if not np.all(np.isfinite(demand)):
+        raise ValueError("demands must be finite (no NaN/inf)")
+    if arrivals.shape[1] and np.any(np.diff(arrivals, axis=1) < 0):
+        raise ValueError("arrival_times must be sorted within each condition")
+    n = arrivals.shape[1]
+
+    mean_service = np.array([c.mean_service_time for c in configs])
+    warn_delay = np.array([c.warning_delay for c in configs])
+    boost = np.array([c.boost_speedup for c in configs])
+    # boost == 1 conditions never switch rates: the serial kernel's first
+    # conditional returns (work, 0) whatever the warning instant, so an
+    # infinite warning delay is bit-identical for them.
+    warn_delay = np.where(boost == 1.0, np.inf, warn_delay)
+
+    # Query-major (n, C) layout: the per-query inner loop then works on
+    # contiguous rows, and each output row is written in place by the
+    # ufunc chain (out=) with no per-query temporaries.
+    arr_t = np.ascontiguousarray(arrivals.T)
+    works_t = demand.T * mean_service
+    warn_t = arr_t + warn_delay
+    starts_t = np.empty((n, n_conditions))
+    comp_t = np.empty((n, n_conditions))
+    btime_t = np.empty((n, n_conditions))
+
+    server_counts = {cfg.n_servers for cfg in configs}
+    uniform_k = server_counts.pop() if len(server_counts) == 1 else None
+    if n:
+        loop_args = (arr_t, works_t, warn_t, boost, starts_t, comp_t, btime_t)
+        if uniform_k == 1:
+            _batch_loop_k1(*loop_args)
+        elif uniform_k == 2:
+            _batch_loop_k2(*loop_args)
+        else:
+            _batch_loop_general(*loop_args, configs)
+
+    boosted_time = np.ascontiguousarray(btime_t.T)
+    return BatchQueueResult(
+        arrival_times=arrivals,
+        start_times=np.ascontiguousarray(starts_t.T),
+        completion_times=np.ascontiguousarray(comp_t.T),
+        boosted=boosted_time > 0.0,
         boosted_time=boosted_time,
     )

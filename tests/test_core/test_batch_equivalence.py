@@ -1,0 +1,160 @@
+"""Bit-identity of the batched simulation paths against their serial
+counterparts, at every consumer level: ``simulate_many`` vs
+``simulate``, ``predict_conditions`` vs ``predict_condition``, and the
+batched vs serial timeout exploration (including the acceptance
+guarantee that ``model_driven_policy`` picks the identical vector)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ResponseTimeModel, RuntimeCondition, StacModel
+from repro.core.policy_search import (
+    explore_timeouts,
+    model_driven_policy,
+    slo_matching,
+)
+from repro.core.rt_model import MIN_BATCH_CONDITIONS
+
+FAST_DF = dict(
+    windows=[(5, 5)],
+    mgs_estimators=5,
+    mgs_max_instances=2000,
+    n_levels=1,
+    forests_per_level=2,
+    n_estimators=10,
+)
+
+PAIR = ("redis", "social")
+UTILS = (0.9, 0.85)
+GRID = (0.0, 0.5, 2.0)
+
+
+@pytest.fixture(scope="module")
+def fitted_fast(small_dataset):
+    model = StacModel(rng=0, sim_queries=600, **FAST_DF)
+    return model.fit(small_dataset)
+
+
+def _sample_conditions(n):
+    rng = np.random.default_rng(42)
+    return [
+        dict(
+            utilization=float(rng.uniform(0.4, 0.95)),
+            timeout=float(rng.choice([0.0, 0.5, 1.5, np.inf])),
+            gross_increase=float(rng.uniform(1.0, 3.0)),
+            effective_allocation=float(rng.uniform(0.3, 1.5)),
+            service_cv=float(rng.choice([0.0, 0.35])),
+            mean_service_time=float(rng.uniform(0.7, 1.2)),
+        )
+        for _ in range(n)
+    ]
+
+
+class TestSimulateMany:
+    def test_bit_identical_to_serial(self):
+        model = ResponseTimeModel(n_queries=500, rng=7)
+        conds = _sample_conditions(MIN_BATCH_CONDITIONS + 3)
+        serial = [model.simulate(**c) for c in conds]
+        for use_batch in (True, False, None):
+            assert model.simulate_many(conds, use_batch=use_batch) == serial
+
+    def test_empty(self):
+        assert ResponseTimeModel(rng=0).simulate_many([]) == []
+
+    def test_auto_dispatch_thresholds(self):
+        model = ResponseTimeModel(n_queries=200, rng=1)
+        few = _sample_conditions(MIN_BATCH_CONDITIONS - 1)
+        many = _sample_conditions(MIN_BATCH_CONDITIONS)
+        # Either side of the crossover must agree with forced paths.
+        assert model.simulate_many(few) == model.simulate_many(
+            few, use_batch=True
+        )
+        assert model.simulate_many(many) == model.simulate_many(
+            many, use_batch=False
+        )
+
+    @pytest.mark.parametrize(
+        "field,bad",
+        [
+            ("utilization", 1.5),
+            ("effective_allocation", 0.0),
+            ("mean_service_time", -1.0),
+        ],
+    )
+    def test_validation_matches_simulate(self, field, bad):
+        model = ResponseTimeModel(n_queries=200, rng=2)
+        conds = _sample_conditions(MIN_BATCH_CONDITIONS + 1)
+        conds[3][field] = bad
+        with pytest.raises(ValueError):
+            model.simulate_many(conds, use_batch=True)
+        with pytest.raises(ValueError):
+            model.simulate(**conds[3])
+
+
+class TestPredictConditions:
+    def _conditions(self):
+        return [
+            RuntimeCondition(
+                workloads=PAIR, utilizations=UTILS, timeouts=timeouts
+            )
+            for timeouts in ((0.0, 1.0), (0.5, 0.5), (np.inf, 0.0), (2.0, np.inf))
+        ]
+
+    def _assert_same(self, a, b):
+        assert a.summaries == b.summaries
+        assert np.array_equal(a.effective_allocations, b.effective_allocations)
+        assert np.array_equal(a.boost_fractions, b.boost_fractions)
+        assert np.array_equal(a.X_flat, b.X_flat)
+        assert np.array_equal(a.traces, b.traces)
+
+    def test_lockstep_matches_per_condition(self, fitted_fast):
+        conds = self._conditions()
+        singles = [fitted_fast.predict_condition(c) for c in conds]
+        for use_batch in (True, False):
+            batched = fitted_fast.predict_conditions(conds, use_batch=use_batch)
+            for a, b in zip(singles, batched):
+                self._assert_same(a, b)
+
+    def test_lockstep_matches_with_tolerance(self, fitted_fast):
+        # With ea_tol > 0 conditions leave the lockstep as they
+        # converge — each must still match its standalone run.
+        conds = self._conditions()
+        singles = [
+            fitted_fast.predict_condition(c, ea_tol=0.05) for c in conds
+        ]
+        batched = fitted_fast.predict_conditions(
+            conds, ea_tol=0.05, use_batch=True
+        )
+        for a, b in zip(singles, batched):
+            self._assert_same(a, b)
+
+    def test_ea_inits_length_mismatch(self, fitted_fast):
+        with pytest.raises(ValueError, match="ea_inits"):
+            fitted_fast.predict_conditions(
+                self._conditions()[:2], ea_inits=[None]
+            )
+
+
+class TestExploreBatched:
+    def test_batch_matches_serial_and_policy_vector(self, fitted_fast):
+        combos_b, rt_b = explore_timeouts(
+            fitted_fast, PAIR, UTILS, GRID, batch=True
+        )
+        combos_s, rt_s = explore_timeouts(
+            fitted_fast, PAIR, UTILS, GRID, batch=False
+        )
+        assert combos_b == combos_s
+        assert np.array_equal(rt_b, rt_s)
+        assert slo_matching(rt_b) == slo_matching(rt_s)
+        # The headline acceptance guarantee: the recommended timeout
+        # vector is identical with and without the batched kernel.
+        db = model_driven_policy(fitted_fast, PAIR, UTILS, GRID, batch=True)
+        ds = model_driven_policy(fitted_fast, PAIR, UTILS, GRID, batch=False)
+        assert db.timeouts == ds.timeouts
+
+    def test_chunked_workers_bit_identical(self, fitted_fast):
+        # Chunked distribution (model pickled once per chunk) must not
+        # change a single bit of the response-time matrix.
+        _, rt1 = explore_timeouts(fitted_fast, PAIR, UTILS, GRID, n_jobs=1)
+        _, rt2 = explore_timeouts(fitted_fast, PAIR, UTILS, GRID, n_jobs=2)
+        assert np.array_equal(rt1, rt2)

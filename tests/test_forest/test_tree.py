@@ -89,6 +89,45 @@ class TestSplitQuality:
             t._n_candidate_features(4)
 
 
+class TestDeepTrees:
+    def test_deep_chain_fit_below_recursion_limit(self):
+        """Unbounded-depth fits must not depend on the interpreter's
+        recursion limit (the build walks an explicit stack).
+
+        Exponentially growing targets make the best split peel a few
+        samples off the top each time, producing a chain far deeper
+        than the lowered recursion limit.
+        """
+        import sys
+
+        n = 400
+        X = np.arange(n, dtype=float).reshape(-1, 1)
+        y = 1.5 ** np.arange(n)
+        limit = sys.getrecursionlimit()
+        try:
+            sys.setrecursionlimit(120)
+            tree = RegressionTree(splitter="best", rng=0).fit(X, y)
+        finally:
+            sys.setrecursionlimit(limit)
+        assert tree.depth > 120
+        # Every leaf is a single sample: the fit is exact.
+        assert tree.n_nodes == 2 * n - 1
+        assert np.array_equal(tree.predict(X), y)
+
+    def test_preorder_node_numbering(self):
+        # Root is node 0 and the left child is always the next node —
+        # the numbering contract of the (formerly recursive) builder.
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(120, 4))
+        y = rng.normal(size=120) + 2.0 * X[:, 1]
+        tree = RegressionTree(rng=0).fit(X, y)
+        assert tree._feature[0] != -1  # root split exists
+        for node, f in enumerate(tree._feature):
+            if f != -1:
+                assert tree._left[node] == node + 1
+                assert tree._right[node] > tree._left[node]
+
+
 class TestValidation:
     def test_bad_splitter(self):
         with pytest.raises(ValueError):

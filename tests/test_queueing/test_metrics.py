@@ -30,6 +30,21 @@ class TestSummary:
         assert sp["mean"] == pytest.approx(2.0)
         assert sp["p95"] == pytest.approx(2.0)
 
+    def test_fused_percentiles_exactly_match_separate_calls(self):
+        # The summary computes all three quantiles from one
+        # np.percentile call (one sort); this must be exact-equal to
+        # the three-call formulation it replaced.
+        rng = np.random.default_rng(17)
+        for rt in (
+            rng.lognormal(0.0, 0.8, size=999),
+            np.arange(1.0, 42.0),
+            np.array([3.0]),
+        ):
+            s = summarize_response_times(rt)
+            assert s.p50 == float(np.percentile(rt, 50))
+            assert s.p95 == float(np.percentile(rt, 95))
+            assert s.p99 == float(np.percentile(rt, 99))
+
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             summarize_response_times([])
