@@ -145,7 +145,13 @@ def _cmd_policy(args) -> int:
     print(f"profiling {pair} ({args.conditions} conditions)...")
     ds = profiler.profile(conditions)
     print(f"training {args.learner} model on {len(ds)} rows...")
-    model = StacModel(machine=machine, learner=args.learner, rng=args.seed).fit(ds)
+    model = StacModel(
+        machine=machine,
+        learner=args.learner,
+        n_jobs=args.train_jobs,
+        forest_strategy=args.forest_strategy,
+        rng=args.seed,
+    ).fit(ds)
     utils = tuple([args.utilization] * len(pair))
     decision = model_driven_policy(
         model,
@@ -235,6 +241,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for the timeout-grid search "
         "(any value returns the identical vector)",
+    )
+    p_pol.add_argument(
+        "--forest-strategy",
+        choices=("exact", "hist"),
+        default="exact",
+        help="forest split finding: 'exact' (bit-identical trees) or "
+        "'hist' (histogram-binned, several times faster to train)",
+    )
+    p_pol.add_argument(
+        "--train-jobs",
+        type=int,
+        default=1,
+        help="worker processes for forest training (one shared-memory "
+        "pool per cascade level / MGS pass; identical model for any value)",
     )
     p_pol.add_argument(
         "--warm-start",

@@ -35,8 +35,21 @@ class EAModel:
         One of :data:`LEARNERS`.
     df_params:
         Keyword overrides for :class:`DeepForestRegressor` (windows,
-        estimators, levels...).
+        estimators, levels, ``n_jobs``, ``strategy``...).  The forest
+        keys (``n_estimators``, ``min_samples_leaf``, ``max_depth``,
+        ``n_jobs``, ``strategy``, ``n_bins``) also reach the
+        ``random_forest`` learner; the remaining learners ignore them.
     """
+
+    #: df_params keys forwarded to the plain random-forest learner.
+    _RF_KEYS = (
+        "n_estimators",
+        "min_samples_leaf",
+        "max_depth",
+        "n_jobs",
+        "strategy",
+        "n_bins",
+    )
 
     def __init__(self, learner: str = "deep_forest", rng=None, **df_params):
         if learner not in LEARNERS:
@@ -83,9 +96,11 @@ class EAModel:
             self._model = DeepForestRegressor(rng=self._rng, **params)
             self._model.fit(X_flat, None, y)
         elif self.learner == "random_forest":
-            self._model = RandomForestRegressor(
-                n_estimators=40, min_samples_leaf=2, rng=self._rng
+            params = dict(n_estimators=40, min_samples_leaf=2)
+            params.update(
+                {k: v for k, v in self._df_params.items() if k in self._RF_KEYS}
             )
+            self._model = RandomForestRegressor(rng=self._rng, **params)
             self._model.fit(self._flatten(X_flat, traces), y)
         elif self.learner == "tree":
             self._model = DecisionTreeBaseline(rng=self._rng)

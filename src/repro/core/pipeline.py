@@ -70,11 +70,22 @@ class StacModel:
         n_servers: int = 2,
         n_iterations: int = 2,
         sim_queries: int = 4000,
+        n_jobs: int = 1,
+        forest_strategy: str = "exact",
         rng=None,
         **ea_params,
     ):
+        """``n_jobs`` and ``forest_strategy`` plumb Stage 2 training
+        parallelism / histogram split finding into the forest learners
+        (deep_forest, cascade, random_forest; the rest ignore them).
+        ``forest_strategy="exact"`` (default) keeps trees bit-identical
+        to previous releases for every ``n_jobs``."""
         if n_iterations < 1:
             raise ValueError("n_iterations must be >= 1")
+        if forest_strategy not in ("exact", "hist"):
+            raise ValueError(f"unknown forest_strategy {forest_strategy!r}")
+        ea_params.setdefault("n_jobs", n_jobs)
+        ea_params.setdefault("strategy", forest_strategy)
         self.machine = machine or default_machine()
         self.private_mb = private_mb
         self.shared_mb = shared_mb

@@ -7,6 +7,7 @@ multi-grained scanning (representational learning) and cascade levels
 """
 
 from repro.forest.tree import RegressionTree
+from repro.forest.binning import BinnedMatrix, quantile_bin
 from repro.forest.ensemble import (
     RandomForestRegressor,
     CompletelyRandomForestRegressor,
@@ -15,9 +16,12 @@ from repro.forest.mgs import MultiGrainScanner, sliding_windows
 from repro.forest.cascade import CascadeForest, cross_fit_predict
 from repro.forest.deep_forest import DeepForestRegressor
 from repro.forest.fast_inference import PackedForest
+from repro.forest.parallel import TreeFitPlan, fit_plans
 
 __all__ = [
     "RegressionTree",
+    "BinnedMatrix",
+    "quantile_bin",
     "RandomForestRegressor",
     "CompletelyRandomForestRegressor",
     "MultiGrainScanner",
@@ -26,4 +30,6 @@ __all__ = [
     "cross_fit_predict",
     "DeepForestRegressor",
     "PackedForest",
+    "TreeFitPlan",
+    "fit_plans",
 ]

@@ -6,6 +6,13 @@ forest's out-of-fold predictions become *concept features* appended to
 the input of the next level — layer-by-layer training with no back
 propagation, which is why deep forests are stable where CNNs are not
 (Figure 5).
+
+Training parallelism is hoisted to the level: all trees of all forests
+of a level — including every cross-fit fold model — are planned first
+(consuming RNG in the same order the old sequential loop did) and then
+executed through one process-pool pass
+(:func:`repro.forest.parallel.fit_plans`), so ``n_jobs`` scales across
+the whole level rather than within one small forest at a time.
 """
 
 from __future__ import annotations
@@ -15,36 +22,77 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro._util import as_rng, spawn_rngs
+from repro.forest.binning import MAX_BINS
 from repro.forest.ensemble import (
     CompletelyRandomForestRegressor,
     RandomForestRegressor,
 )
+from repro.forest.parallel import fit_plans
 
 
-def cross_fit_predict(make_model, X, y, k: int = 3, rng=None) -> np.ndarray:
-    """Out-of-fold predictions from k-fold cross-fitting.
-
-    Each sample's concept value comes from a model that never saw it,
-    so cascade features do not leak the training target.
-    """
-    X = np.asarray(X, dtype=float)
-    y = np.asarray(y, dtype=float)
+def _cross_fit_folds(X, y, k: int, rng):
+    """Validate and draw the cross-fit fold split."""
     n = X.shape[0]
     if k < 2:
         raise ValueError("k must be >= 2")
     if n < k:
         raise ValueError(f"need at least k={k} samples, got {n}")
-    rng = as_rng(rng)
-    perm = rng.permutation(n)
-    folds = np.array_split(perm, k)
-    out = np.empty(n)
+    perm = as_rng(rng).permutation(n)
+    return np.array_split(perm, k)
+
+
+def _plan_cross_fit(make_model, X, y, k: int, rng):
+    """Fold models plus their fit plans, RNG-identical to the old
+    fit-as-you-go loop (models are constructed and planned in fold
+    order; predictions consume no RNG and happen after execution)."""
+    folds = _cross_fit_folds(X, y, k, rng)
+    n = X.shape[0]
+    models, plans = [], []
     for fold in folds:
         mask = np.ones(n, dtype=bool)
         mask[fold] = False
         model = make_model()
-        model.fit(X[mask], y[mask])
+        plans.append(model.plan_fit(X[mask], y[mask]))
+        models.append(model)
+    return models, folds, plans
+
+
+def _collect_out_of_fold(models, folds, X, n: int) -> np.ndarray:
+    out = np.empty(n)
+    for model, fold in zip(models, folds):
         out[fold] = model.predict(X[fold])
     return out
+
+
+def cross_fit_predict(
+    make_model, X, y, k: int = 3, rng=None, n_jobs: int = 1
+) -> np.ndarray:
+    """Out-of-fold predictions from k-fold cross-fitting.
+
+    Each sample's concept value comes from a model that never saw it,
+    so cascade features do not leak the training target.  Models that
+    expose ``plan_fit`` (the forests) train through the shared pool
+    harness — all folds' trees in one pass when ``n_jobs > 1`` — with
+    results bit-identical to the sequential loop; other models fall
+    back to fitting in fold order.
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float)
+    folds = _cross_fit_folds(X, y, k, rng)
+    n = X.shape[0]
+    models, plans = [], []
+    for fold in folds:
+        mask = np.ones(n, dtype=bool)
+        mask[fold] = False
+        model = make_model()
+        if hasattr(model, "plan_fit"):
+            plans.append(model.plan_fit(X[mask], y[mask]))
+        else:
+            model.fit(X[mask], y[mask])
+        models.append(model)
+    if plans:
+        fit_plans(plans, n_jobs=n_jobs)
+    return _collect_out_of_fold(models, folds, X, n)
 
 
 @dataclass
@@ -68,6 +116,14 @@ class CascadeForest:
         Trees per forest (paper: 100).
     k_folds:
         Cross-fitting folds for concept features.
+    n_jobs:
+        Process-pool width for tree fitting; the pool spans a whole
+        level (every fold model and refit of every forest).  Results
+        are bit-identical for every value.
+    strategy:
+        ``"exact"`` (default, bit-identical to previous releases) or
+        ``"hist"`` (histogram split finding; see
+        :mod:`repro.forest.binning`).
     """
 
     n_levels: int = 4
@@ -80,6 +136,9 @@ class CascadeForest:
     #: out-of-fold error of the level's concept average stops improving.
     early_stop: bool = False
     patience: int = 1
+    n_jobs: int = 1
+    strategy: str = "exact"
+    n_bins: int = MAX_BINS
     rng: object = None
     _levels: list[_Level] = field(default_factory=list, init=False)
     _output_forests: list = field(default_factory=list, init=False)
@@ -92,6 +151,8 @@ class CascadeForest:
             raise ValueError("n_levels and forests_per_level must be >= 1")
         if self.patience < 1:
             raise ValueError("patience must be >= 1")
+        if self.n_jobs < 1:
+            raise ValueError("n_jobs must be >= 1")
         self._rng = as_rng(self.rng)
 
     def _make_forest(self, j: int, rng):
@@ -104,6 +165,8 @@ class CascadeForest:
             n_estimators=self.n_estimators,
             max_depth=self.max_depth,
             min_samples_leaf=self.min_samples_leaf,
+            strategy=self.strategy,
+            n_bins=self.n_bins,
             rng=rng,
         )
 
@@ -116,27 +179,35 @@ class CascadeForest:
         self._levels = []
         self.level_scores_ = []
         current = X
+        n = X.shape[0]
         n_rngs = self.n_levels * self.forests_per_level * 2 + self.forests_per_level
         rngs = iter(spawn_rngs(self._rng, n_rngs))
         best_score = np.inf
         stale = 0
         for _ in range(self.n_levels):
-            forests = []
-            concepts = np.empty((X.shape[0], self.forests_per_level))
+            # Plan the whole level — every forest's fold models and
+            # full-data refit — then execute through one pool pass.
+            forests, plans, fold_infos = [], [], []
             for j in range(self.forests_per_level):
                 fold_rng = next(rngs)
                 fit_rng = next(rngs)
-                concepts[:, j] = cross_fit_predict(
+                models, folds, fold_plans = _plan_cross_fit(
                     lambda j=j, r=fit_rng: self._make_forest(j, r),
                     current,
                     y,
                     k=self.k_folds,
                     rng=fold_rng,
                 )
+                plans += fold_plans
                 # Refit on the full data for inference-time transforms.
                 forest = self._make_forest(j, fit_rng)
-                forest.fit(current, y)
+                plans.append(forest.plan_fit(current, y))
                 forests.append(forest)
+                fold_infos.append((models, folds))
+            fit_plans(plans, n_jobs=self.n_jobs)
+            concepts = np.empty((n, self.forests_per_level))
+            for j, (models, folds) in enumerate(fold_infos):
+                concepts[:, j] = _collect_out_of_fold(models, folds, current, n)
             self._levels.append(
                 _Level(forests=forests, n_input_features=current.shape[1])
             )
@@ -154,10 +225,12 @@ class CascadeForest:
                         break
         # Final output ensemble averages forests_per_level forests.
         self._output_forests = []
+        out_plans = []
         for j in range(self.forests_per_level):
             forest = self._make_forest(j, next(rngs))
-            forest.fit(current, y)
+            out_plans.append(forest.plan_fit(current, y))
             self._output_forests.append(forest)
+        fit_plans(out_plans, n_jobs=self.n_jobs)
         return self
 
     def _propagate(self, X) -> np.ndarray:

@@ -3,25 +3,25 @@
 Per Section 4.1, cascade levels mix two forest types to encourage
 diversity: random forests (bootstrap + sqrt(f) feature subsets, best
 split) and completely-random forests (random feature and threshold,
-grown until pure).  Trees can train in parallel across a process pool.
+grown until pure).
+
+Fitting is split into *planning* (draw every bootstrap sample and tree
+seed in the parent, bin the features once when ``strategy="hist"``) and
+*execution* (:func:`repro.forest.parallel.fit_plans`), so that a
+cascade level or multi-grained scanner can pool the trees of many
+forests through one process pool while jobs carry only indices and
+seeds — the training matrix crosses the process boundary once per
+worker via shared memory, not once per tree.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-
 import numpy as np
 
 from repro._util import as_rng, spawn_rngs
+from repro.forest.binning import MAX_BINS, quantile_bin
+from repro.forest.parallel import TreeFitPlan, fit_plans
 from repro.forest.tree import RegressionTree
-
-
-def _fit_one_tree(args):
-    """Top-level worker so the pool can pickle it."""
-    X, y, sample_idx, params, seed = args
-    tree = RegressionTree(rng=seed, **params)
-    tree.fit(X[sample_idx], y[sample_idx])
-    return tree
 
 
 class _BaseForest:
@@ -30,39 +30,74 @@ class _BaseForest:
     _tree_params: dict
     _bootstrap: bool
 
-    def __init__(self, n_estimators: int = 100, n_jobs: int = 1, rng=None):
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        n_jobs: int = 1,
+        strategy: str = "exact",
+        n_bins: int = MAX_BINS,
+        rng=None,
+    ):
         if n_estimators < 1:
             raise ValueError("n_estimators must be >= 1")
         if n_jobs < 1:
             raise ValueError("n_jobs must be >= 1")
+        if strategy not in ("exact", "hist"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        if not 2 <= n_bins <= MAX_BINS:
+            raise ValueError(f"n_bins must be in [2, {MAX_BINS}], got {n_bins}")
         self.n_estimators = n_estimators
         self.n_jobs = n_jobs
+        self.strategy = strategy
+        self.n_bins = n_bins
         self._rng = as_rng(rng)
         self.trees_: list[RegressionTree] = []
 
-    def fit(self, X, y) -> "_BaseForest":
+    def plan_fit(self, X, y) -> TreeFitPlan:
+        """Draw all per-tree randomness and package the fit as a plan.
+
+        RNG consumption (one spawn per forest, then per-tree bootstrap
+        indices and seeds in tree order) matches the old immediate-fit
+        loop exactly, so executing the plan — serially or pooled —
+        reproduces the old trees bit-for-bit on the exact path.  On the
+        hist path the features are quantile-binned here, once, and the
+        ``uint8`` codes are shared by every tree of the plan.
+        """
         X = np.ascontiguousarray(X, dtype=float)
         y = np.ascontiguousarray(y, dtype=float)
         if X.ndim != 2 or X.shape[0] != y.shape[0]:
             raise ValueError(f"bad shapes: X {X.shape}, y {y.shape}")
-        self._packed = None
         n = X.shape[0]
-        rngs = spawn_rngs(self._rng, self.n_estimators)
         jobs = []
-        for t_rng in rngs:
+        for t_rng in spawn_rngs(self._rng, self.n_estimators):
             if self._bootstrap:
                 sample_idx = t_rng.integers(0, n, size=n)
             else:
-                sample_idx = np.arange(n)
+                sample_idx = None
             seed = int(t_rng.integers(0, 2**62))
-            jobs.append((X, y, sample_idx, self._tree_params, seed))
-        if self.n_jobs > 1 and self.n_estimators > 1:
-            with ProcessPoolExecutor(max_workers=self.n_jobs) as pool:
-                self.trees_ = list(pool.map(_fit_one_tree, jobs))
+            jobs.append((sample_idx, seed))
+        meta = {
+            "tree_params": self._tree_params,
+            "strategy": self.strategy,
+            "n_features": X.shape[1],
+        }
+        if self.strategy == "hist":
+            binned = quantile_bin(X, max_bins=self.n_bins)
+            arrays = {"codes": binned.codes, "y": y}
+            meta["edges"] = binned.edges
         else:
-            self.trees_ = [_fit_one_tree(j) for j in jobs]
-        self.n_features_ = X.shape[1]
+            arrays = {"X": X, "y": y}
+        return TreeFitPlan(forest=self, arrays=arrays, meta=meta, jobs=jobs)
+
+    def fit(self, X, y) -> "_BaseForest":
+        fit_plans([self.plan_fit(X, y)], n_jobs=self.n_jobs)
         return self
+
+    def _finish_fit(self, trees, n_features: int) -> None:
+        """Install executed-plan trees (called by ``fit_plans``)."""
+        self.trees_ = list(trees)
+        self.n_features_ = n_features
+        self._packed = None
 
     def pack(self):
         """Bolt-style packed representation for fast batch inference
@@ -91,7 +126,16 @@ class _BaseForest:
 
     def predict_per_tree(self, X) -> np.ndarray:
         """(n_trees, n_samples) matrix of per-tree predictions (used to
-        estimate ensemble dispersion)."""
+        estimate ensemble dispersion).
+
+        Small batches route through the packed level-synchronous
+        traversal — the same heuristic (and the same bit-exact results)
+        as :meth:`predict`."""
+        if not self.trees_:
+            raise RuntimeError("forest is not fitted")
+        X = np.ascontiguousarray(X, dtype=float)
+        if X.shape[0] <= 256 and len(self.trees_) >= 8:
+            return self.pack().predict_per_tree(X)
         return np.stack([t.predict(X) for t in self.trees_])
 
     @property
@@ -117,9 +161,17 @@ class RandomForestRegressor(_BaseForest):
         max_depth: int | None = None,
         min_samples_leaf: int = 1,
         n_jobs: int = 1,
+        strategy: str = "exact",
+        n_bins: int = MAX_BINS,
         rng=None,
     ):
-        super().__init__(n_estimators=n_estimators, n_jobs=n_jobs, rng=rng)
+        super().__init__(
+            n_estimators=n_estimators,
+            n_jobs=n_jobs,
+            strategy=strategy,
+            n_bins=n_bins,
+            rng=rng,
+        )
         self._tree_params = dict(
             max_depth=max_depth,
             min_samples_leaf=min_samples_leaf,
@@ -140,9 +192,17 @@ class CompletelyRandomForestRegressor(_BaseForest):
         max_depth: int | None = None,
         min_samples_leaf: int = 1,
         n_jobs: int = 1,
+        strategy: str = "exact",
+        n_bins: int = MAX_BINS,
         rng=None,
     ):
-        super().__init__(n_estimators=n_estimators, n_jobs=n_jobs, rng=rng)
+        super().__init__(
+            n_estimators=n_estimators,
+            n_jobs=n_jobs,
+            strategy=strategy,
+            n_bins=n_bins,
+            rng=rng,
+        )
         self._tree_params = dict(
             max_depth=max_depth,
             min_samples_leaf=min_samples_leaf,

@@ -61,6 +61,15 @@ class PackedForest:
         trees = getattr(forest, "trees_", None)
         if not trees:
             raise ValueError("forest has no fitted trees")
+        return cls.from_trees(trees)
+
+    @classmethod
+    def from_trees(cls, trees) -> "PackedForest":
+        """Pack a plain list of fitted trees (exact or hist — histogram
+        trees record raw-space thresholds, so both pack identically)."""
+        trees = list(trees)
+        if not trees:
+            raise ValueError("no fitted trees to pack")
         feats, thrs, lefts, rights, vals, roots = [], [], [], [], [], []
         offset = 0
         max_depth = 0

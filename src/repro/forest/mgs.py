@@ -15,7 +15,9 @@ import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
 from repro._util import as_rng, spawn_rngs
+from repro.forest.binning import MAX_BINS
 from repro.forest.ensemble import RandomForestRegressor
+from repro.forest.parallel import fit_plans
 
 
 def sliding_windows(traces: np.ndarray, window: tuple[int, int]) -> np.ndarray:
@@ -60,12 +62,23 @@ class MultiGrainScanner:
         Cap on window instances used to train each forest (subsampled
         uniformly) — scanning is cheap but training on every position of
         every sample is not.
+    n_jobs:
+        Process-pool width for tree training.  The pool spans *all*
+        window forests in one pass (and is plumbed into each forest, so
+        a later standalone refit also parallelizes); results are
+        bit-identical for every value.
+    strategy:
+        Split-finding strategy for the window forests: ``"exact"``
+        (default) or ``"hist"``.
     """
 
     windows: list[tuple[int, int]] = field(default_factory=lambda: [(5, 5)])
     n_estimators: int = 50
     max_depth: int | None = 12
     max_instances: int = 20000
+    n_jobs: int = 1
+    strategy: str = "exact"
+    n_bins: int = MAX_BINS
     rng: object = None
     _forests: list[RandomForestRegressor] = field(default_factory=list, init=False)
     _fitted_shape: tuple[int, int] | None = field(default=None, init=False)
@@ -90,6 +103,7 @@ class MultiGrainScanner:
             raise ValueError("traces and y must have the same first dimension")
         self._fitted_shape = traces.shape[1:]
         self._forests = []
+        plans = []
         rngs = spawn_rngs(self._rng, 2 * len(self.windows))
         for k, window in enumerate(self.windows):
             inst = sliding_windows(traces, window)
@@ -105,10 +119,15 @@ class MultiGrainScanner:
                 n_estimators=self.n_estimators,
                 max_depth=self.max_depth,
                 min_samples_leaf=3,
+                n_jobs=self.n_jobs,
+                strategy=self.strategy,
+                n_bins=self.n_bins,
                 rng=rngs[2 * k + 1],
             )
-            forest.fit(X, yy)
+            plans.append(forest.plan_fit(X, yy))
             self._forests.append(forest)
+        # All window forests' trees drain through one pool pass.
+        fit_plans(plans, n_jobs=self.n_jobs)
         return self
 
     def transform(self, traces: np.ndarray) -> np.ndarray:

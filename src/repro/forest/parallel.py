@@ -1,0 +1,222 @@
+"""Shared-memory, level-wide parallel tree training.
+
+The old per-forest pool pickled the full training matrix once per tree
+(``n_estimators`` copies of ``X`` crossing the process boundary per
+forest) and could only parallelize within one forest at a time.  This
+module replaces both:
+
+- **One data crossing per worker.**  Each forest's training arrays (the
+  raw matrix on the exact path, the ``uint8`` bin codes on the hist
+  path) are exported once into ``multiprocessing.shared_memory``
+  segments; workers attach in the pool initializer and every job
+  carries only ``(plan id, sample indices, seed)``.  Where shared
+  memory is unavailable (or segment creation fails), the arrays fall
+  back to riding the initializer inline — still once per worker, never
+  per tree.
+- **Level-wide batching.**  :func:`fit_plans` accepts the fit plans of
+  *many* forests — all trees of all forests of a cascade level
+  (including every cross-fit fold model) or all MGS window forests —
+  and drains them through a single process pool, so small forests no
+  longer serialize behind each other.
+
+Trees are fitted from pre-drawn seeds (the parent consumes all RNG
+state while planning), so results are bit-identical for every
+``n_jobs`` and identical to the old per-forest loop.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.forest.tree import RegressionTree
+
+try:
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - always present on CPython >= 3.8
+    _shared_memory = None
+
+#: Worker-side state, populated by the pool initializer: plan key ->
+#: {"arrays": {name: ndarray}, "meta": {...}}.
+_WORKER_DATASETS = None
+#: Attached segments, kept referenced for the worker's lifetime.
+_WORKER_SEGMENTS: list = []
+
+
+@dataclass
+class TreeFitPlan:
+    """Everything needed to fit one forest's trees, RNG pre-drawn.
+
+    Attributes
+    ----------
+    forest:
+        Receives ``_finish_fit(trees, n_features)`` once all its trees
+        are back (``None`` to just collect the trees).
+    arrays:
+        Large training arrays, shared across the plan's trees:
+        ``{"X": ..., "y": ...}`` (exact) or ``{"codes": ..., "y": ...}``
+        (hist).  These cross the process boundary once per worker.
+    meta:
+        Small picklable metadata: ``tree_params``, ``strategy``,
+        ``n_features`` and (hist) ``edges``.
+    jobs:
+        One ``(sample_idx | None, seed)`` tuple per tree; ``None``
+        means "all rows" (non-bootstrap forests).
+    """
+
+    forest: object
+    arrays: dict
+    meta: dict
+    jobs: list
+
+
+def _fit_tree(arrays, meta, sample_idx, seed) -> RegressionTree:
+    """Fit a single tree; shared by the serial and pooled paths."""
+    params = meta["tree_params"]
+    y = arrays["y"]
+    if meta["strategy"] == "hist":
+        codes = arrays["codes"]
+        tree = RegressionTree(rng=seed, strategy="hist", **params)
+        if sample_idx is None:
+            tree.fit_binned(codes, meta["edges"], y)
+        else:
+            tree.fit_binned(codes[sample_idx], meta["edges"], y[sample_idx])
+    else:
+        tree = RegressionTree(rng=seed, **params)
+        X = arrays["X"]
+        if sample_idx is None:
+            tree.fit(X, y)
+        else:
+            tree.fit(X[sample_idx], y[sample_idx])
+    return tree
+
+
+# -- shared-memory export / attach ---------------------------------------------
+
+
+def _export_array(arr):
+    """Export one array for the pool: ``(payload entry, segment | None)``.
+
+    Tries a shared-memory segment first (zero-copy for every worker on
+    POSIX); on failure the array itself becomes the payload entry and is
+    pickled once per worker through the initializer.
+    """
+    arr = np.ascontiguousarray(arr)
+    if _shared_memory is not None and arr.nbytes > 0:
+        try:
+            seg = _shared_memory.SharedMemory(create=True, size=arr.nbytes)
+        except (OSError, ValueError):
+            return ("inline", arr), None
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
+        view[...] = arr
+        return ("shm", seg.name, arr.shape, arr.dtype.str), seg
+    return ("inline", arr), None
+
+
+def _attach_array(entry) -> np.ndarray:
+    """Worker-side counterpart of :func:`_export_array`."""
+    if entry[0] == "inline":
+        return entry[1]
+    _, name, shape, dtype = entry
+    # Attaching re-registers the segment with the resource tracker,
+    # which the parent (the owner) already tracks — the duplicate makes
+    # worker exits unlink segments still in use and spams the tracker
+    # with KeyErrors.  Suppress registration for the attach; Python
+    # 3.13 exposes this properly as ``track=False``.
+    from multiprocessing import resource_tracker
+
+    orig_register = resource_tracker.register
+    resource_tracker.register = lambda *a, **kw: None
+    try:
+        seg = _shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = orig_register
+    _WORKER_SEGMENTS.append(seg)  # keep the mapping alive
+    return np.ndarray(shape, dtype=np.dtype(dtype), buffer=seg.buf)
+
+
+def _pool_init(payload) -> None:
+    global _WORKER_DATASETS
+    _WORKER_DATASETS = {
+        key: {
+            "arrays": {
+                name: _attach_array(entry)
+                for name, entry in entry_set["arrays"].items()
+            },
+            "meta": entry_set["meta"],
+        }
+        for key, entry_set in payload.items()
+    }
+
+
+def _fit_tree_job(job) -> RegressionTree:
+    key, sample_idx, seed = job
+    ds = _WORKER_DATASETS[key]
+    return _fit_tree(ds["arrays"], ds["meta"], sample_idx, seed)
+
+
+# -- the level-wide harness ----------------------------------------------------
+
+
+def fit_plans(plans, n_jobs: int = 1) -> list:
+    """Fit every tree of every plan, serially or across one pool.
+
+    Jobs preserve planning order, and each tree is grown from its
+    pre-drawn seed, so the fitted trees are bit-identical for every
+    ``n_jobs``.  Returns the per-plan tree lists (also handed to each
+    plan's forest via ``_finish_fit``).
+    """
+    if n_jobs < 1:
+        raise ValueError("n_jobs must be >= 1")
+    plans = list(plans)
+    if not plans:
+        return []
+    flat = [
+        (i, sample_idx, seed)
+        for i, plan in enumerate(plans)
+        for (sample_idx, seed) in plan.jobs
+    ]
+    if n_jobs > 1 and len(flat) > 1:
+        trees = _fit_pooled(plans, flat, n_jobs)
+    else:
+        trees = [
+            _fit_tree(plans[i].arrays, plans[i].meta, sample_idx, seed)
+            for i, sample_idx, seed in flat
+        ]
+    out = []
+    pos = 0
+    for plan in plans:
+        chunk = trees[pos : pos + len(plan.jobs)]
+        pos += len(plan.jobs)
+        if plan.forest is not None:
+            plan.forest._finish_fit(chunk, plan.meta["n_features"])
+        out.append(chunk)
+    return out
+
+
+def _fit_pooled(plans, flat, n_jobs) -> list:
+    payload = {}
+    segments = []
+    try:
+        for i, plan in enumerate(plans):
+            exported = {}
+            for name, arr in plan.arrays.items():
+                entry, seg = _export_array(arr)
+                exported[name] = entry
+                if seg is not None:
+                    segments.append(seg)
+            payload[i] = {"arrays": exported, "meta": plan.meta}
+        chunksize = max(1, len(flat) // (4 * n_jobs))
+        with ProcessPoolExecutor(
+            max_workers=n_jobs, initializer=_pool_init, initargs=(payload,)
+        ) as pool:
+            return list(pool.map(_fit_tree_job, flat, chunksize=chunksize))
+    finally:
+        for seg in segments:
+            try:
+                seg.close()
+                seg.unlink()
+            except OSError:  # pragma: no cover - already gone
+                pass
