@@ -2,11 +2,23 @@
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
+#: Default placeholder rendered for non-finite float cells.
+NA_PLACEHOLDER = "na"
 
-def _fmt(v, precision: int) -> str:
+
+def _fmt(v, precision: int, na: str = NA_PLACEHOLDER) -> str:
     if isinstance(v, float):
+        # Non-finite floats would otherwise render as "nan"/"inf" —
+        # inconsistent with the precision-formatted finite cells and
+        # indistinguishable from a deliberate label.  NaN marks a
+        # missing value; infinities keep their sign.
+        if math.isnan(v):
+            return na
+        if math.isinf(v):
+            return "inf" if v > 0 else "-inf"
         return f"{v:.{precision}f}"
     return str(v)
 
@@ -16,11 +28,16 @@ def format_table(
     rows: Sequence[Sequence],
     title: str | None = None,
     precision: int = 3,
+    na: str = NA_PLACEHOLDER,
 ) -> str:
-    """Render rows as a fixed-width ASCII table."""
+    """Render rows as a fixed-width ASCII table.
+
+    Non-finite float cells render as the ``na`` placeholder (NaN) or a
+    bare signed ``inf`` — never through the precision format.
+    """
     if any(len(r) != len(headers) for r in rows):
         raise ValueError("every row must match the header width")
-    cells = [[_fmt(v, precision) for v in r] for r in rows]
+    cells = [[_fmt(v, precision, na) for v in r] for r in rows]
     widths = [
         max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
         for i, h in enumerate(headers)
@@ -38,10 +55,12 @@ def format_table(
 
 def format_series(
     name: str, xs: Sequence, ys: Sequence, x_label: str = "x", y_label: str = "y",
-    precision: int = 3,
+    precision: int = 3, na: str = NA_PLACEHOLDER,
 ) -> str:
     """Render an (x, y) series the way the paper's figures plot them."""
     if len(xs) != len(ys):
         raise ValueError("xs and ys must have the same length")
     rows = [(x, y) for x, y in zip(xs, ys)]
-    return format_table([x_label, y_label], rows, title=name, precision=precision)
+    return format_table(
+        [x_label, y_label], rows, title=name, precision=precision, na=na
+    )

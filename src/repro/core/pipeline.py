@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro._util import as_rng
 from repro.cache.contention import SharedWayContention
 from repro.core.ea import ideal_effective_allocation
@@ -109,7 +110,10 @@ class StacModel:
         """
         if len(dataset) > 0:
             self.trace_ticks = int(dataset.traces.shape[2])
-        self.ea_model.fit(dataset)
+        with telemetry.span(
+            "stage2.fit", n_rows=len(dataset), learner=self.ea_model.learner
+        ):
+            self.ea_model.fit(dataset)
         return self
 
     # -- evaluation on profiled rows ---------------------------------------------
@@ -121,7 +125,8 @@ class StacModel:
         """
         if len(dataset) == 0:
             raise ValueError("dataset is empty")
-        ea = self.ea_model.predict_dataset(dataset)
+        with telemetry.span("stage2.predict_rows", n_rows=len(dataset)):
+            ea = self.ea_model.predict_dataset(dataset)
         # Every row is an independent queue condition: simulate them all
         # through one batched kernel call (bit-identical to the serial
         # per-row loop this replaced).
@@ -141,7 +146,8 @@ class StacModel:
                     mean_service_time=self._default_service_time(spec),
                 )
             )
-        feedback = self.rt_model.simulate_many(conds)
+        with telemetry.span("stage3.simulate_rows", n_conditions=len(conds)):
+            feedback = self.rt_model.simulate_many(conds)
         rt_mean = np.array([f.summary.mean for f in feedback])
         rt_p95 = np.array([f.summary.p95 for f in feedback])
         return {"ea": ea, "rt_mean": rt_mean, "rt_p95": rt_p95}
@@ -400,51 +406,63 @@ class StacModel:
         X_per: list[np.ndarray] = [None] * len(conditions)
         traces_per: list[np.ndarray] = [None] * len(conditions)
         active = list(range(len(conditions)))
-        for _ in range(self.n_iterations):
-            sim_conds = []
-            for ci in active:
-                cond, specs, grosses, eas = (
-                    conditions[ci], specs_per[ci], grosses_per[ci], eas_per[ci],
-                )
-                for i in range(len(specs)):
-                    sim_conds.append(
-                        dict(
-                            utilization=cond.utilizations[i],
-                            timeout=cond.timeouts[i],
-                            gross_increase=grosses[i],
-                            effective_allocation=float(eas[i]),
-                            service_cv=specs[i].service_cv,
-                            mean_service_time=self._default_service_time(
-                                specs[i]
-                            ),
+        fp_span = telemetry.span(
+            "stage3.fixed_point", n_conditions=len(conditions)
+        )
+        with fp_span:
+            rounds = 0
+            for it in range(self.n_iterations):
+                rounds = it + 1
+                with telemetry.span(
+                    "stage3.fixed_point.round", round=it, active=len(active)
+                ):
+                    sim_conds = []
+                    for ci in active:
+                        cond, specs, grosses, eas = (
+                            conditions[ci], specs_per[ci], grosses_per[ci],
+                            eas_per[ci],
                         )
+                        for i in range(len(specs)):
+                            sim_conds.append(
+                                dict(
+                                    utilization=cond.utilizations[i],
+                                    timeout=cond.timeouts[i],
+                                    gross_increase=grosses[i],
+                                    effective_allocation=float(eas[i]),
+                                    service_cv=specs[i].service_cv,
+                                    mean_service_time=self._default_service_time(
+                                        specs[i]
+                                    ),
+                                )
+                            )
+                    all_feedback = self.rt_model.simulate_many(
+                        sim_conds, use_batch=use_batch
                     )
-            all_feedback = self.rt_model.simulate_many(
-                sim_conds, use_batch=use_batch
-            )
-            pos = 0
-            still_active = []
-            for ci in active:
-                n = len(specs_per[ci])
-                feedback_per[ci] = all_feedback[pos : pos + n]
-                pos += n
-                X_per[ci], traces_per[ci] = self._condition_round(
-                    conditions[ci], specs_per[ci], grosses_per[ci],
-                    feedback_per[ci],
-                )
-                # One EA-model call per condition — identical input
-                # stacking to the serial path, so identical predictions
-                # for every learner.
-                new_eas = self.ea_model.predict(X_per[ci], traces_per[ci])
-                converged = (
-                    float(np.max(np.abs(new_eas - eas_per[ci]))) <= ea_tol
-                )
-                eas_per[ci] = new_eas
-                if not (ea_tol > 0 and converged):
-                    still_active.append(ci)
-            active = still_active
-            if not active:
-                break
+                    pos = 0
+                    still_active = []
+                    for ci in active:
+                        n = len(specs_per[ci])
+                        feedback_per[ci] = all_feedback[pos : pos + n]
+                        pos += n
+                        X_per[ci], traces_per[ci] = self._condition_round(
+                            conditions[ci], specs_per[ci], grosses_per[ci],
+                            feedback_per[ci],
+                        )
+                        # One EA-model call per condition — identical input
+                        # stacking to the serial path, so identical predictions
+                        # for every learner.
+                        new_eas = self.ea_model.predict(X_per[ci], traces_per[ci])
+                        converged = (
+                            float(np.max(np.abs(new_eas - eas_per[ci]))) <= ea_tol
+                        )
+                        eas_per[ci] = new_eas
+                        if not (ea_tol > 0 and converged):
+                            still_active.append(ci)
+                    active = still_active
+                if not active:
+                    break
+            fp_span.set_attr("rounds", rounds)
+        telemetry.counter_inc("stage3.conditions_predicted", len(conditions))
         return [
             ConditionPrediction(
                 summaries=[f.summary for f in feedback_per[ci]],

@@ -38,6 +38,7 @@ from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
+from repro import telemetry
 from repro.baselines.policies import PolicyDecision
 from repro.core.pipeline import StacModel
 from repro.core.profile_vec import RuntimeCondition
@@ -96,7 +97,7 @@ def _conditions(workloads, utilizations, combos) -> list[RuntimeCondition]:
     ]
 
 
-def _predict_chunk(args) -> np.ndarray:
+def _predict_chunk(args) -> tuple[np.ndarray, dict | None]:
     """Worker: predict a chunk of consecutive grid runs.
 
     Whole chunks are the unit of work distribution, so the (pickled)
@@ -108,28 +109,55 @@ def _predict_chunk(args) -> np.ndarray:
     converged EAs seed the next one's fixed point, the first always
     starting from the model's first-principles guess — so a run's
     output depends only on (model, run), never on worker assignment.
+
+    Returns ``(rt_matrix, telemetry_snapshot)``.  The snapshot is
+    ``None`` unless ``collect_telemetry`` is set, which pool workers use
+    to ship an isolated child registry/span-log/event-sink back for the
+    parent to merge (pure observation riding the existing result
+    channel: seeding and chunk order are untouched).
     """
     (model, workloads, utilizations, runs, statistic,
-     warm_start, ea_tol, batch) = args
-    if not warm_start:
-        combos = [combo for run in runs for combo in run]
-        preds = model.predict_conditions(
-            _conditions(workloads, utilizations, combos),
-            use_batch=None if batch else False,
-        )
-        return np.array(
-            [[getattr(s, statistic) for s in p.summaries] for p in preds]
-        )
-    parts = []
-    for run in runs:
-        rt = np.empty((len(run), len(workloads)))
-        eas = None
-        for k, cond in enumerate(_conditions(workloads, utilizations, run)):
-            pred = model.predict_condition(cond, ea_init=eas, ea_tol=ea_tol)
-            rt[k] = [getattr(s, statistic) for s in pred.summaries]
-            eas = pred.effective_allocations
-        parts.append(rt)
-    return np.vstack(parts)
+     warm_start, ea_tol, batch, collect_telemetry, trace_queue_events) = args
+    if collect_telemetry:
+        # Fresh worker-local state: fork-started pools inherit the
+        # parent's telemetry objects, and mutating those in a child
+        # would be lost — and snapshotting them would double-count the
+        # parent's own records.
+        telemetry.begin_worker(trace_queue_events=trace_queue_events)
+    n_combos = sum(len(run) for run in runs)
+    with telemetry.span(
+        "policy.chunk", n_runs=len(runs), n_combos=n_combos
+    ):
+        if not warm_start:
+            combos = [combo for run in runs for combo in run]
+            preds = model.predict_conditions(
+                _conditions(workloads, utilizations, combos),
+                use_batch=None if batch else False,
+            )
+            rt = np.array(
+                [[getattr(s, statistic) for s in p.summaries] for p in preds]
+            )
+        else:
+            parts = []
+            for run in runs:
+                part = np.empty((len(run), len(workloads)))
+                eas = None
+                for k, cond in enumerate(
+                    _conditions(workloads, utilizations, run)
+                ):
+                    pred = model.predict_condition(
+                        cond, ea_init=eas, ea_tol=ea_tol
+                    )
+                    part[k] = [getattr(s, statistic) for s in pred.summaries]
+                    eas = pred.effective_allocations
+                parts.append(part)
+            rt = np.vstack(parts)
+    telemetry.counter_inc("policy.combos_evaluated", n_combos)
+    if collect_telemetry:
+        snap = telemetry.worker_snapshot()
+        telemetry.disable()
+        return rt, snap
+    return rt, None
 
 
 def explore_timeouts(
@@ -187,16 +215,33 @@ def explore_timeouts(
     n_chunks = min(n_jobs, len(runs)) if n_jobs > 1 else 1
     bounds = np.linspace(0, len(runs), n_chunks + 1).astype(int)
     chunks = [runs[a:b] for a, b in zip(bounds[:-1], bounds[1:])]
+    # Pool workers collect into isolated child telemetry states and
+    # ship snapshots back with their results; the in-process path
+    # records straight into the parent state (collect stays False).
+    pooled = len(chunks) > 1
+    collect = telemetry.enabled() and pooled
+    trace_q = collect and telemetry.queue_sink() is not None
     jobs = [
         (model, tuple(workloads), tuple(utilizations), chunk, statistic,
-         warm_start, ea_tol, batch)
+         warm_start, ea_tol, batch, collect, trace_q)
         for chunk in chunks
     ]
-    if len(jobs) > 1:
-        with ProcessPoolExecutor(max_workers=len(jobs)) as pool:
-            parts = list(pool.map(_predict_chunk, jobs))
-    else:
-        parts = [_predict_chunk(job) for job in jobs]
+    with telemetry.span(
+        "policy.explore_timeouts",
+        n_combos=len(combos),
+        n_jobs=n_jobs,
+        statistic=statistic,
+        warm_start=warm_start,
+    ):
+        if pooled:
+            with ProcessPoolExecutor(max_workers=len(jobs)) as pool:
+                results = list(pool.map(_predict_chunk, jobs))
+        else:
+            results = [_predict_chunk(job) for job in jobs]
+        parts = []
+        for w, (rt, snap) in enumerate(results):
+            parts.append(rt)
+            telemetry.merge_worker(snap, worker=f"explore-{w}")
     return combos, np.vstack(parts)
 
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro._util import as_rng, spawn_rngs
 from repro.counters.sampler import CounterSampler, _segment_means
 from repro.counters.trace import CacheUsageTrace
@@ -202,13 +203,18 @@ class Profiler:
             (c, self.settings, self.machine, s) for c, s in zip(conditions, seeds)
         ]
         dataset = ProfileDataset()
-        if self.n_jobs > 1 and len(jobs) > 1:
-            with ProcessPoolExecutor(max_workers=self.n_jobs) as pool:
-                for rows in pool.map(_profile_one_condition, jobs):
-                    dataset.extend(rows)
-        else:
-            for job in jobs:
-                dataset.extend(_profile_one_condition(job))
+        with telemetry.span(
+            "stage1.profile", n_conditions=len(jobs), n_jobs=self.n_jobs
+        ):
+            if self.n_jobs > 1 and len(jobs) > 1:
+                with ProcessPoolExecutor(max_workers=self.n_jobs) as pool:
+                    for rows in pool.map(_profile_one_condition, jobs):
+                        dataset.extend(rows)
+            else:
+                for job in jobs:
+                    with telemetry.span("stage1.profile.condition"):
+                        dataset.extend(_profile_one_condition(job))
+        telemetry.counter_inc("stage1.profile_rows", len(dataset))
         return dataset
 
     def quick_ea(self, condition: RuntimeCondition, n_queries: int = 200) -> np.ndarray:

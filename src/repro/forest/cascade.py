@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro._util import as_rng, spawn_rngs
 from repro.forest.binning import MAX_BINS
 from repro.forest.ensemble import (
@@ -184,37 +185,51 @@ class CascadeForest:
         rngs = iter(spawn_rngs(self._rng, n_rngs))
         best_score = np.inf
         stale = 0
-        for _ in range(self.n_levels):
+        for level_idx in range(self.n_levels):
             # Plan the whole level — every forest's fold models and
             # full-data refit — then execute through one pool pass.
-            forests, plans, fold_infos = [], [], []
-            for j in range(self.forests_per_level):
-                fold_rng = next(rngs)
-                fit_rng = next(rngs)
-                models, folds, fold_plans = _plan_cross_fit(
-                    lambda j=j, r=fit_rng: self._make_forest(j, r),
-                    current,
-                    y,
-                    k=self.k_folds,
-                    rng=fold_rng,
-                )
-                plans += fold_plans
-                # Refit on the full data for inference-time transforms.
-                forest = self._make_forest(j, fit_rng)
-                plans.append(forest.plan_fit(current, y))
-                forests.append(forest)
-                fold_infos.append((models, folds))
-            fit_plans(plans, n_jobs=self.n_jobs)
-            concepts = np.empty((n, self.forests_per_level))
-            for j, (models, folds) in enumerate(fold_infos):
-                concepts[:, j] = _collect_out_of_fold(models, folds, current, n)
-            self._levels.append(
-                _Level(forests=forests, n_input_features=current.shape[1])
+            level_span = telemetry.span(
+                "stage2.cascade.level",
+                level=level_idx,
+                n_features=int(current.shape[1]),
+                forests=self.forests_per_level,
             )
-            current = np.concatenate([current, concepts], axis=1)
-            # Level quality: out-of-fold error of the concept average.
-            score = float(np.mean((concepts.mean(axis=1) - y) ** 2))
-            self.level_scores_.append(score)
+            with level_span:
+                forests, plans, fold_infos = [], [], []
+                for j in range(self.forests_per_level):
+                    fold_rng = next(rngs)
+                    fit_rng = next(rngs)
+                    models, folds, fold_plans = _plan_cross_fit(
+                        lambda j=j, r=fit_rng: self._make_forest(j, r),
+                        current,
+                        y,
+                        k=self.k_folds,
+                        rng=fold_rng,
+                    )
+                    plans += fold_plans
+                    # Refit on the full data for inference-time transforms.
+                    forest = self._make_forest(j, fit_rng)
+                    plans.append(forest.plan_fit(current, y))
+                    forests.append(forest)
+                    fold_infos.append((models, folds))
+                fit_plans(plans, n_jobs=self.n_jobs)
+                concepts = np.empty((n, self.forests_per_level))
+                for j, (models, folds) in enumerate(fold_infos):
+                    concepts[:, j] = _collect_out_of_fold(
+                        models, folds, current, n
+                    )
+                self._levels.append(
+                    _Level(forests=forests, n_input_features=current.shape[1])
+                )
+                current = np.concatenate([current, concepts], axis=1)
+                # Level quality: out-of-fold error of the concept average.
+                score = float(np.mean((concepts.mean(axis=1) - y) ** 2))
+                self.level_scores_.append(score)
+                level_span.set_attr("oof_mse", score)
+            telemetry.gauge_set(
+                f"cascade.level{level_idx}.oof_mse", score
+            )
+            telemetry.counter_inc("cascade.levels_grown")
             if self.early_stop:
                 if score < best_score - 1e-12:
                     best_score = score
@@ -226,11 +241,14 @@ class CascadeForest:
         # Final output ensemble averages forests_per_level forests.
         self._output_forests = []
         out_plans = []
-        for j in range(self.forests_per_level):
-            forest = self._make_forest(j, next(rngs))
-            out_plans.append(forest.plan_fit(current, y))
-            self._output_forests.append(forest)
-        fit_plans(out_plans, n_jobs=self.n_jobs)
+        with telemetry.span(
+            "stage2.cascade.output", forests=self.forests_per_level
+        ):
+            for j in range(self.forests_per_level):
+                forest = self._make_forest(j, next(rngs))
+                out_plans.append(forest.plan_fit(current, y))
+                self._output_forests.append(forest)
+            fit_plans(out_plans, n_jobs=self.n_jobs)
         return self
 
     def _propagate(self, X) -> np.ndarray:

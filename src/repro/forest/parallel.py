@@ -26,11 +26,13 @@ state while planning), so results are bit-identical for every
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.forest.tree import RegressionTree
 
 try:
@@ -43,6 +45,9 @@ except ImportError:  # pragma: no cover - always present on CPython >= 3.8
 _WORKER_DATASETS = None
 #: Attached segments, kept referenced for the worker's lifetime.
 _WORKER_SEGMENTS: list = []
+#: Worker-side telemetry flag, set explicitly by the pool initializer
+#: (never inherited) so job return shapes are deterministic.
+_WORKER_TELEMETRY = False
 
 
 @dataclass
@@ -137,8 +142,9 @@ def _attach_array(entry) -> np.ndarray:
     return np.ndarray(shape, dtype=np.dtype(dtype), buffer=seg.buf)
 
 
-def _pool_init(payload) -> None:
-    global _WORKER_DATASETS
+def _pool_init(payload, telemetry_on: bool = False) -> None:
+    global _WORKER_DATASETS, _WORKER_TELEMETRY
+    _WORKER_TELEMETRY = telemetry_on
     _WORKER_DATASETS = {
         key: {
             "arrays": {
@@ -151,9 +157,15 @@ def _pool_init(payload) -> None:
     }
 
 
-def _fit_tree_job(job) -> RegressionTree:
+def _fit_tree_job(job):
+    """Fit one tree; under telemetry, also return its fit wall-time so
+    the parent can merge worker-side timings into its registry."""
     key, sample_idx, seed = job
     ds = _WORKER_DATASETS[key]
+    if _WORKER_TELEMETRY:
+        t0 = time.perf_counter()
+        tree = _fit_tree(ds["arrays"], ds["meta"], sample_idx, seed)
+        return tree, time.perf_counter() - t0
     return _fit_tree(ds["arrays"], ds["meta"], sample_idx, seed)
 
 
@@ -178,13 +190,33 @@ def fit_plans(plans, n_jobs: int = 1) -> list:
         for i, plan in enumerate(plans)
         for (sample_idx, seed) in plan.jobs
     ]
-    if n_jobs > 1 and len(flat) > 1:
-        trees = _fit_pooled(plans, flat, n_jobs)
-    else:
-        trees = [
-            _fit_tree(plans[i].arrays, plans[i].meta, sample_idx, seed)
-            for i, sample_idx, seed in flat
-        ]
+    # Telemetry: one enabled-flag check; observation only, no RNG.
+    _tel = telemetry.enabled()
+    with telemetry.span(
+        "forest.fit_plans",
+        n_plans=len(plans),
+        n_trees=len(flat),
+        n_jobs=n_jobs,
+    ):
+        if n_jobs > 1 and len(flat) > 1:
+            trees = _fit_pooled(plans, flat, n_jobs, telemetry_on=_tel)
+        elif _tel:
+            trees = []
+            for i, sample_idx, seed in flat:
+                t0 = time.perf_counter()
+                trees.append(
+                    _fit_tree(plans[i].arrays, plans[i].meta, sample_idx, seed)
+                )
+                telemetry.histogram_observe(
+                    "forest.tree_fit_seconds", time.perf_counter() - t0
+                )
+        else:
+            trees = [
+                _fit_tree(plans[i].arrays, plans[i].meta, sample_idx, seed)
+                for i, sample_idx, seed in flat
+            ]
+    if _tel:
+        telemetry.counter_inc("forest.trees_fitted", len(flat))
     out = []
     pos = 0
     for plan in plans:
@@ -196,7 +228,7 @@ def fit_plans(plans, n_jobs: int = 1) -> list:
     return out
 
 
-def _fit_pooled(plans, flat, n_jobs) -> list:
+def _fit_pooled(plans, flat, n_jobs, telemetry_on: bool = False) -> list:
     payload = {}
     segments = []
     try:
@@ -210,9 +242,21 @@ def _fit_pooled(plans, flat, n_jobs) -> list:
             payload[i] = {"arrays": exported, "meta": plan.meta}
         chunksize = max(1, len(flat) // (4 * n_jobs))
         with ProcessPoolExecutor(
-            max_workers=n_jobs, initializer=_pool_init, initargs=(payload,)
+            max_workers=n_jobs,
+            initializer=_pool_init,
+            initargs=(payload, telemetry_on),
         ) as pool:
-            return list(pool.map(_fit_tree_job, flat, chunksize=chunksize))
+            results = list(pool.map(_fit_tree_job, flat, chunksize=chunksize))
+        if not telemetry_on:
+            return results
+        # Merge worker-side timings into the parent registry.  The
+        # (tree, seconds) pairs rode home on the existing result
+        # channel, so worker seeding and job order are untouched.
+        trees = []
+        for tree, dt in results:
+            trees.append(tree)
+            telemetry.histogram_observe("forest.tree_fit_seconds", dt)
+        return trees
     finally:
         for seg in segments:
             try:

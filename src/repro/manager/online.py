@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro._util import as_rng
 from repro.manager.controller import AdaptiveTimeoutController
 from repro.queueing.metrics import ResponseTimeSummary, summarize_response_times
@@ -158,10 +159,26 @@ class OnlineManager:
         results = []
         static_plan = None
         for i, utils in enumerate(scenario.epochs):
-            if adapt or static_plan is None:
-                plan = self.controller.recommend(utils)
-                if static_plan is None:
-                    static_plan = plan
-            timeouts = plan.timeouts if adapt else static_plan.timeouts
-            results.append(self._run_epoch(i, utils, timeouts, int(seeds[i])))
+            epoch_span = telemetry.span(
+                "manager.epoch", epoch=i, adapt=adapt
+            )
+            with epoch_span:
+                if adapt or static_plan is None:
+                    with telemetry.span("manager.epoch.plan", epoch=i):
+                        plan = self.controller.recommend(utils)
+                    if static_plan is None:
+                        static_plan = plan
+                timeouts = plan.timeouts if adapt else static_plan.timeouts
+                result = self._run_epoch(i, utils, timeouts, int(seeds[i]))
+                epoch_span.set_attr("timeouts", [float(t) for t in timeouts])
+                epoch_span.set_attr(
+                    "mean_p95", float(np.mean(result.p95))
+                )
+            results.append(result)
+            telemetry.counter_inc("manager.epochs")
+            telemetry.histogram_observe(
+                "manager.epoch_mean_p95",
+                float(np.mean(result.p95)),
+                edges=(0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0),
+            )
         return results

@@ -17,10 +17,12 @@ the paper describes.
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro._util import as_rng
 from repro._util.validation import check_positive
 
@@ -192,6 +194,7 @@ def simulate_stap_queue(
     arrival_times,
     demands,
     config: StapQueueConfig,
+    event_sink=None,
 ) -> QueueResult:
     """FCFS G/G/k simulation under a short-term allocation policy.
 
@@ -204,7 +207,16 @@ def simulate_stap_queue(
         ``demand * mean_service_time``.
     config:
         Queue and policy configuration.
+    event_sink:
+        Optional :class:`~repro.telemetry.QueueEventSink` fed the run's
+        arrival / service-start / STAP-boost-trigger / departure events
+        (derived from the finished result arrays — the simulation loop
+        itself is untouched).  When omitted, the telemetry subsystem's
+        active sink (``--trace-queue-events``) is used if one exists.
     """
+    # Telemetry: one enabled-flag check; never touches RNG or results.
+    _tel = telemetry.enabled()
+    _t0 = time.perf_counter() if _tel else 0.0
     arrivals = np.ascontiguousarray(arrival_times, dtype=float)
     demand = np.ascontiguousarray(demands, dtype=float)
     if arrivals.shape != demand.shape or arrivals.ndim != 1:
@@ -242,13 +254,24 @@ def simulate_stap_queue(
         boosted_time[i] = btime
         heapq.heappush(free_at, t1)
 
-    return QueueResult(
+    result = QueueResult(
         arrival_times=arrivals,
         start_times=starts,
         completion_times=completions,
         boosted=boosted,
         boosted_time=boosted_time,
     )
+    if _tel:
+        telemetry.counter_inc("queue.runs")
+        telemetry.counter_inc("queue.queries_simulated", n)
+        telemetry.histogram_observe(
+            "queue.simulate_seconds", time.perf_counter() - _t0
+        )
+        if event_sink is None:
+            event_sink = telemetry.queue_sink()
+    if event_sink is not None:
+        event_sink.record_run(result, config)
+    return result
 
 
 # The per-query service step shared by the three loop specializations
@@ -388,6 +411,7 @@ def simulate_stap_queue_batch(
     arrival_times,
     demands,
     configs,
+    event_sink=None,
 ) -> BatchQueueResult:
     """FCFS G/G/k simulation of ``C`` conditions simultaneously.
 
@@ -413,7 +437,15 @@ def simulate_stap_queue_batch(
         One :class:`StapQueueConfig` per condition.  Server counts may
         differ between conditions; the state matrix is padded to the
         largest ``n_servers`` with never-free (``inf``) slots.
+    event_sink:
+        Optional :class:`~repro.telemetry.QueueEventSink`; every
+        condition row is recorded as its own run (events derived from
+        the finished result arrays, the kernel loop is untouched).
+        Defaults to the telemetry subsystem's active sink, if any.
     """
+    # Telemetry: one enabled-flag check; never touches RNG or results.
+    _tel = telemetry.enabled()
+    _t0 = time.perf_counter() if _tel else 0.0
     configs = list(configs)
     n_conditions = len(configs)
     if n_conditions == 0:
@@ -466,10 +498,22 @@ def simulate_stap_queue_batch(
             _batch_loop_general(*loop_args, configs)
 
     boosted_time = np.ascontiguousarray(btime_t.T)
-    return BatchQueueResult(
+    result = BatchQueueResult(
         arrival_times=arrivals,
         start_times=np.ascontiguousarray(starts_t.T),
         completion_times=np.ascontiguousarray(comp_t.T),
         boosted=boosted_time > 0.0,
         boosted_time=boosted_time,
     )
+    if _tel:
+        telemetry.counter_inc("queue.batch_runs")
+        telemetry.counter_inc("queue.batch_conditions", n_conditions)
+        telemetry.counter_inc("queue.queries_simulated", n * n_conditions)
+        telemetry.histogram_observe(
+            "queue.simulate_batch_seconds", time.perf_counter() - _t0
+        )
+        if event_sink is None:
+            event_sink = telemetry.queue_sink()
+    if event_sink is not None:
+        event_sink.record_batch(result, configs)
+    return result

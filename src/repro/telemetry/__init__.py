@@ -1,0 +1,228 @@
+"""Telemetry subsystem: metrics, spans and simulator event traces.
+
+Observability layer for the STA pipeline (profile -> deep forest ->
+G/G/k STAP simulation -> timeout search).  Three primitives:
+
+- a process-wide **metrics registry** (:mod:`repro.telemetry.registry`)
+  of counters, gauges and fixed-bucket histograms/timers;
+- **span tracing** (:mod:`repro.telemetry.spans`): nested wall-time
+  scopes over ``time.perf_counter`` with thread-safe aggregation;
+- a **queue event sink** (:mod:`repro.telemetry.events`) reconstructing
+  per-query simulator timelines (arrival / service-start /
+  STAP-boost-trigger / departure).
+
+Exporters (:mod:`repro.telemetry.exporters`) write JSONL span/event
+logs and a JSON run-manifest, and render ASCII summaries through
+:func:`repro.analysis.reporting.format_table`.
+
+Design contract
+---------------
+
+Telemetry is **disabled by default** and a true no-op while disabled:
+
+- no registry, span log or sink object exists (``get_registry()`` et
+  al. return ``None``), so the disabled path allocates nothing;
+- every instrumented site pays a single enabled-flag check
+  (:func:`enabled` reads one attribute);
+- telemetry never touches any RNG and never feeds back into any
+  computation, so instrumented code paths produce **bit-identical**
+  outputs whether telemetry is on or off.
+
+Worker processes (forest-training pools, policy-search pools) run
+isolated telemetry states started with :func:`begin_worker`; their
+:func:`worker_snapshot` payloads ride home on the existing result
+channel and fold into the parent via :func:`merge_worker` — never
+perturbing worker seeding or chunk order.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.events import QueueEventSink, read_events_jsonl
+from repro.telemetry.registry import (
+    DEFAULT_TIME_EDGES,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.spans import NOOP_SPAN, SpanLog, SpanRecord
+
+__all__ = [
+    "DEFAULT_TIME_EDGES",
+    "Histogram",
+    "MetricsRegistry",
+    "QueueEventSink",
+    "SpanLog",
+    "SpanRecord",
+    "begin_worker",
+    "configure",
+    "counter_inc",
+    "current_span",
+    "disable",
+    "enabled",
+    "gauge_set",
+    "get_registry",
+    "get_span_log",
+    "histogram_observe",
+    "merge_worker",
+    "queue_sink",
+    "read_events_jsonl",
+    "snapshot",
+    "span",
+    "timer",
+    "worker_snapshot",
+]
+
+
+class _State:
+    """The process-wide telemetry state.  All three slots are ``None``
+    while telemetry is disabled (the default)."""
+
+    __slots__ = ("registry", "spans", "queue_sink")
+
+    def __init__(self):
+        self.registry = None
+        self.spans = None
+        self.queue_sink = None
+
+
+_STATE = _State()
+
+
+# -- lifecycle -----------------------------------------------------------------
+
+
+def configure(trace_queue_events: bool = False) -> MetricsRegistry:
+    """Enable telemetry for this process.
+
+    Creates a fresh registry and span log (discarding any previous
+    state) and, when ``trace_queue_events`` is set, a queue event sink
+    that the simulators feed automatically.  Returns the new registry.
+    """
+    _STATE.registry = MetricsRegistry()
+    _STATE.spans = SpanLog()
+    _STATE.queue_sink = QueueEventSink() if trace_queue_events else None
+    return _STATE.registry
+
+
+def disable() -> None:
+    """Disable telemetry and drop all collected state."""
+    _STATE.registry = None
+    _STATE.spans = None
+    _STATE.queue_sink = None
+
+
+def enabled() -> bool:
+    """The single flag every instrumented site checks."""
+    return _STATE.registry is not None
+
+
+# -- accessors -----------------------------------------------------------------
+
+
+def get_registry() -> MetricsRegistry | None:
+    return _STATE.registry
+
+
+def get_span_log() -> SpanLog | None:
+    return _STATE.spans
+
+
+def queue_sink() -> QueueEventSink | None:
+    """The active queue event sink (``None`` unless telemetry is
+    enabled with ``trace_queue_events=True``)."""
+    return _STATE.queue_sink
+
+
+# -- recording shims (each a no-op after one flag check when disabled) ---------
+
+
+def counter_inc(name: str, value: float = 1.0) -> None:
+    reg = _STATE.registry
+    if reg is not None:
+        reg.counter_inc(name, value)
+
+
+def gauge_set(name: str, value: float) -> None:
+    reg = _STATE.registry
+    if reg is not None:
+        reg.gauge_set(name, value)
+
+
+def histogram_observe(name: str, value: float, edges=None) -> None:
+    reg = _STATE.registry
+    if reg is not None:
+        reg.histogram_observe(name, value, edges=edges)
+
+
+def timer(name: str):
+    """``with telemetry.timer("stage.seconds"): ...`` — records into a
+    timer histogram, or does nothing while disabled."""
+    reg = _STATE.registry
+    if reg is None:
+        return NOOP_SPAN
+    return reg.timer(name)
+
+
+def span(name: str, **attrs):
+    """Open a nested wall-time span (context manager).
+
+    Returns a shared no-op handle while telemetry is disabled, so call
+    sites need no guard of their own.
+    """
+    log = _STATE.spans
+    if log is None:
+        return NOOP_SPAN
+    return log.start(name, attrs)
+
+
+def current_span():
+    log = _STATE.spans
+    return log.current() if log is not None else None
+
+
+# -- cross-process aggregation -------------------------------------------------
+
+
+def begin_worker(trace_queue_events: bool = False) -> None:
+    """Start a fresh, isolated telemetry state inside a pool worker.
+
+    Fork-started workers inherit the parent's state objects; a fresh
+    state guarantees the worker's snapshot contains only work it did
+    itself.
+    """
+    configure(trace_queue_events=trace_queue_events)
+
+
+def worker_snapshot() -> dict | None:
+    """The worker's full telemetry payload (picklable), or ``None``
+    while disabled.  Pair with :func:`merge_worker` on the parent."""
+    if _STATE.registry is None:
+        return None
+    snap = {
+        "metrics": _STATE.registry.snapshot(),
+        "spans": _STATE.spans.snapshot(),
+    }
+    if _STATE.queue_sink is not None:
+        snap["events"] = _STATE.queue_sink.snapshot()
+    return snap
+
+
+def snapshot() -> dict | None:
+    """Alias of :func:`worker_snapshot` for in-process consumers."""
+    return worker_snapshot()
+
+
+def merge_worker(snap: dict | None, worker: str = "worker") -> None:
+    """Fold a :func:`worker_snapshot` into the parent state.
+
+    Counters add, gauges take the worker's value, histograms merge
+    bucket-wise, spans append (re-keyed, tagged with ``worker``) and
+    queue events append with re-keyed run indices.  No-op when either
+    side is ``None``/disabled.
+    """
+    if snap is None or _STATE.registry is None:
+        return
+    _STATE.registry.merge(snap.get("metrics", {}))
+    if _STATE.spans is not None and snap.get("spans"):
+        _STATE.spans.merge(snap["spans"], worker=worker)
+    if _STATE.queue_sink is not None and snap.get("events"):
+        _STATE.queue_sink.merge(snap["events"])

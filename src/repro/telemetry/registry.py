@@ -1,0 +1,200 @@
+"""Process-wide metrics registry: counters, gauges, histograms, timers.
+
+The registry is the aggregation point of the telemetry subsystem.  All
+mutation goes through a single :class:`threading.Lock`, so concurrent
+threads (and merged worker snapshots arriving on the parent's thread)
+never race.  Everything the registry stores is a plain float/int/list —
+:meth:`MetricsRegistry.snapshot` is picklable and JSON-serializable, so
+worker processes can ship their registries back across a process-pool
+boundary and the parent can :meth:`MetricsRegistry.merge` them in.
+
+Telemetry never touches any RNG; the only clock it reads is
+``time.perf_counter`` (via :func:`MetricsRegistry.timer`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+#: Default bucket edges (seconds) for timer histograms: 10 us .. 100 s.
+DEFAULT_TIME_EDGES: tuple[float, ...] = (
+    1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0
+)
+
+
+class Histogram:
+    """Fixed-bucket histogram with running sum/min/max.
+
+    ``edges`` are the (sorted, immutable) upper bucket boundaries; an
+    observation lands in the first bucket whose edge is >= the value,
+    with one overflow bucket past the last edge (``len(edges) + 1``
+    counts total).
+    """
+
+    __slots__ = ("edges", "counts", "sum", "count", "min", "max")
+
+    def __init__(self, edges=DEFAULT_TIME_EDGES):
+        edges = tuple(float(e) for e in edges)
+        if len(edges) == 0:
+            raise ValueError("histogram needs at least one bucket edge")
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ValueError("bucket edges must be strictly increasing")
+        self.edges = edges
+        self.counts = [0] * (len(edges) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        i = 0
+        for i, edge in enumerate(self.edges):
+            if v <= edge:
+                break
+        else:
+            i = len(self.edges)
+        self.counts[i] += 1
+        self.sum += v
+        self.count += 1
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else float("nan")
+
+    def to_dict(self) -> dict:
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+    def merge_dict(self, d: dict) -> None:
+        if tuple(d["edges"]) != self.edges:
+            raise ValueError(
+                f"cannot merge histograms with different edges: "
+                f"{tuple(d['edges'])} vs {self.edges}"
+            )
+        for i, c in enumerate(d["counts"]):
+            self.counts[i] += int(c)
+        self.sum += float(d["sum"])
+        self.count += int(d["count"])
+        if d["count"]:
+            self.min = min(self.min, float(d["min"]))
+            self.max = max(self.max, float(d["max"]))
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Histogram":
+        h = cls(edges=d["edges"])
+        h.merge_dict(d)
+        return h
+
+
+class _Timer:
+    """Context manager recording one duration into a histogram metric."""
+
+    __slots__ = ("_registry", "_name", "_t0")
+
+    def __init__(self, registry: "MetricsRegistry", name: str):
+        self._registry = registry
+        self._name = name
+
+    def __enter__(self) -> "_Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._registry.histogram_observe(
+            self._name, time.perf_counter() - self._t0
+        )
+        return False
+
+
+class MetricsRegistry:
+    """Thread-safe process-wide metric store.
+
+    Counters accumulate, gauges keep the last written value, histograms
+    bucket observations against fixed edges (timers are histograms of
+    seconds).  :meth:`snapshot` / :meth:`merge` round-trip the whole
+    registry through plain dicts for cross-process aggregation.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- mutation --------------------------------------------------------------
+
+    def counter_inc(self, name: str, value: float = 1.0) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def gauge_set(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def histogram_observe(self, name: str, value: float, edges=None) -> None:
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = Histogram(edges if edges is not None else DEFAULT_TIME_EDGES)
+                self._histograms[name] = hist
+            hist.observe(value)
+
+    def timer(self, name: str) -> _Timer:
+        """``with registry.timer("stage.seconds"): ...`` records one
+        wall-time observation (perf_counter) into histogram ``name``."""
+        return _Timer(self, name)
+
+    # -- read ------------------------------------------------------------------
+
+    def counter(self, name: str) -> float:
+        with self._lock:
+            return self._counters.get(name, 0.0)
+
+    def gauge(self, name: str) -> float | None:
+        with self._lock:
+            return self._gauges.get(name)
+
+    def histogram(self, name: str) -> Histogram | None:
+        with self._lock:
+            return self._histograms.get(name)
+
+    # -- aggregation -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A picklable/JSON-safe copy of the whole registry."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {
+                    k: h.to_dict() for k, h in self._histograms.items()
+                },
+            }
+
+    def merge(self, snap: dict) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a worker process) in:
+        counters add, gauges take the snapshot's value, histograms with
+        matching edges add bucket-wise."""
+        with self._lock:
+            for k, v in snap.get("counters", {}).items():
+                self._counters[k] = self._counters.get(k, 0.0) + v
+            for k, v in snap.get("gauges", {}).items():
+                self._gauges[k] = v
+            for k, d in snap.get("histograms", {}).items():
+                hist = self._histograms.get(k)
+                if hist is None:
+                    self._histograms[k] = Histogram.from_dict(d)
+                else:
+                    hist.merge_dict(d)

@@ -44,6 +44,35 @@ class TestFormatting:
         with pytest.raises(ValueError):
             format_table(["a", "b"], [[1]])
 
+    def test_nan_renders_as_na_placeholder(self):
+        # Regression: NaN cells used to render as "nan" through the
+        # float path — indistinguishable from a label and inconsistent
+        # with precision-formatted cells; they are now a missing-value
+        # marker.
+        out = format_table(["x", "y"], [[1.0, float("nan")]])
+        cells = out.splitlines()[-1].split("|")
+        assert cells[1].strip() == "na"
+        assert "nan" not in out
+
+    def test_na_placeholder_customizable(self):
+        out = format_table(["x"], [[float("nan")]], na="-")
+        assert out.splitlines()[-1].strip() == "-"
+        out = format_series(
+            "fig", [1], [float("nan")], "t", "err", na="missing"
+        )
+        assert "missing" in out
+
+    def test_infinities_render_bare_and_signed(self):
+        out = format_table(
+            ["a", "b"], [[float("inf"), float("-inf")]], precision=5
+        )
+        last = [c.strip() for c in out.splitlines()[-1].split("|")]
+        assert last == ["inf", "-inf"]
+
+    def test_numpy_nan_cell(self):
+        out = format_table(["x"], [[np.float64("nan")]])
+        assert out.splitlines()[-1].strip() == "na"
+
     def test_series(self):
         out = format_series("fig", [1, 2], [0.5, 0.25], "t", "err")
         assert "fig" in out and "err" in out

@@ -117,3 +117,92 @@ class TestPolicy:
         assert rc == 0
         out = capsys.readouterr().out
         assert "Verification on the testbed" in out
+
+
+class TestTelemetry:
+    @pytest.fixture(autouse=True)
+    def _reset_telemetry(self):
+        from repro import telemetry
+
+        telemetry.disable()
+        yield
+        telemetry.disable()
+
+    def _simulate(self, tmp_path, *extra):
+        return main(
+            [
+                "simulate",
+                "--pair", "jacobi", "bfs",
+                "--queries", "120",
+                "--trace-dir", str(tmp_path / "t"),
+                *extra,
+            ]
+        )
+
+    def test_flag_writes_valid_manifest(self, tmp_path, capsys):
+        from repro.telemetry.exporters import load_manifest
+
+        assert self._simulate(tmp_path, "--telemetry") == 0
+        out = capsys.readouterr().out
+        assert "telemetry: wrote" in out
+        manifest = load_manifest(tmp_path / "t" / "manifest.json")
+        assert manifest["command"][0] == "simulate"
+        assert manifest["seeds"]["seed"] == 0
+        assert [s["name"] for s in manifest["stages"]] == ["repro.simulate"]
+        assert (tmp_path / "t" / "spans.jsonl").exists()
+        assert "events_file" not in manifest
+
+    def test_trace_queue_events_implies_telemetry(self, tmp_path, capsys):
+        from repro.telemetry.exporters import load_manifest
+
+        assert self._simulate(tmp_path, "--trace-queue-events") == 0
+        manifest = load_manifest(tmp_path / "t" / "manifest.json")
+        assert manifest["events_file"] == "events.jsonl"
+        assert (tmp_path / "t" / "events.jsonl").exists()
+
+    def test_global_state_restored_after_run(self, tmp_path, capsys):
+        from repro import telemetry
+
+        assert self._simulate(tmp_path, "--telemetry") == 0
+        assert not telemetry.enabled()
+
+    def test_output_identical_with_and_without(self, tmp_path, capsys):
+        assert self._simulate(tmp_path) == 0
+        plain = capsys.readouterr().out
+        assert self._simulate(tmp_path, "--telemetry") == 0
+        with_tel = capsys.readouterr().out
+        assert with_tel.startswith(plain)
+        assert "telemetry: wrote" in with_tel
+
+
+class TestReport:
+    def test_renders_manifest_and_events(self, tmp_path, capsys):
+        rc = main(
+            [
+                "simulate",
+                "--pair", "jacobi", "bfs",
+                "--queries", "120",
+                "--trace-queue-events",
+                "--trace-dir", str(tmp_path / "t"),
+            ]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["report", str(tmp_path / "t" / "manifest.json")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Run manifest" in out
+        assert "repro.simulate" in out
+        assert "Queue event trace" in out
+
+    def test_missing_manifest(self, tmp_path, capsys):
+        rc = main(["report", str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert "no such manifest" in capsys.readouterr().err
+
+    def test_invalid_manifest_rejected(self, tmp_path, capsys):
+        bad = tmp_path / "manifest.json"
+        bad.write_text('{"schema_version": 1}')
+        rc = main(["report", str(bad)])
+        assert rc == 2
+        assert "invalid run manifest" in capsys.readouterr().err

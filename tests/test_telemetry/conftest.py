@@ -1,0 +1,12 @@
+"""Telemetry tests toggle the process-wide state; always reset it."""
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def _reset_telemetry():
+    telemetry.disable()
+    yield
+    telemetry.disable()

@@ -1,0 +1,187 @@
+"""Tests for the run manifest, its validator and the ASCII renderers."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.telemetry import exporters
+from repro.telemetry.exporters import (
+    MANIFEST_SCHEMA_VERSION,
+    build_manifest,
+    events_table,
+    load_manifest,
+    manifest_tables,
+    validate_manifest,
+    write_manifest,
+    write_spans_jsonl,
+)
+
+
+def _instrumented_manifest(**kwargs):
+    telemetry.configure()
+    with telemetry.span("stage.alpha", n=3):
+        with telemetry.span("stage.alpha.inner"):
+            pass
+    telemetry.counter_inc("rows", 10)
+    telemetry.gauge_set("mse", 0.25)
+    telemetry.histogram_observe("fit.seconds", 0.02)
+    return build_manifest(
+        command=["policy", "--pair", "a", "b"],
+        config={"seed": 0, "timeout": float("inf")},
+        seeds={"seed": 0},
+        registry=telemetry.get_registry(),
+        span_log=telemetry.get_span_log(),
+        **kwargs,
+    )
+
+
+class TestBuildManifest:
+    def test_structure(self):
+        m = _instrumented_manifest()
+        validate_manifest(m)  # no raise
+        assert m["schema_version"] == MANIFEST_SCHEMA_VERSION
+        assert m["versions"]["numpy"] == np.__version__
+        # One root -> its direct children are promoted to stages.
+        assert [s["name"] for s in m["stages"]] == [
+            "stage.alpha",
+            "stage.alpha.inner",
+        ]
+        assert [s["parent"] for s in m["stages"]] == [None, "stage.alpha"]
+        assert len(m["spans"]) == 2
+        assert m["metrics"]["counters"]["rows"] == 10.0
+
+    def test_json_safe_config_and_attrs(self):
+        telemetry.configure()
+        with telemetry.span("s", timeout=float("inf"), arr=np.float64(2.0)):
+            pass
+        m = build_manifest(
+            command=[],
+            config={"t": float("nan"), "xs": (1, np.int64(2))},
+            seeds={},
+            span_log=telemetry.get_span_log(),
+        )
+        text = json.dumps(m)  # strict JSON: would raise on inf/nan
+        assert "Infinity" not in text and "NaN" not in text
+        assert m["config"]["t"] == "nan"
+        assert m["config"]["xs"] == [1, 2]
+        assert m["spans"][0]["attrs"]["timeout"] == "inf"
+
+    def test_worker_roots_excluded_from_stages(self):
+        telemetry.configure()
+        with telemetry.span("parent.stage"):
+            pass
+        worker_log = telemetry.SpanLog()
+        with worker_log.start("worker.root", {}):
+            pass
+        telemetry.get_span_log().merge(worker_log.snapshot(), worker="w0")
+        m = build_manifest(
+            command=[], config={}, seeds={},
+            span_log=telemetry.get_span_log(),
+        )
+        assert [s["name"] for s in m["stages"]] == ["parent.stage"]
+        assert len(m["spans"]) == 2
+
+    def test_events_pointer_fields(self):
+        m = _instrumented_manifest(events_file="events.jsonl", n_events=12)
+        assert m["events_file"] == "events.jsonl"
+        assert m["n_events"] == 12
+
+
+class TestValidateManifest:
+    def test_missing_field(self):
+        m = _instrumented_manifest()
+        del m["stages"]
+        with pytest.raises(ValueError, match="stages"):
+            validate_manifest(m)
+
+    def test_wrong_schema_version(self):
+        m = _instrumented_manifest()
+        m["schema_version"] = 99
+        with pytest.raises(ValueError, match="schema_version"):
+            validate_manifest(m)
+
+    def test_bad_stage_and_span_rows(self):
+        m = _instrumented_manifest()
+        n_stages, n_spans = len(m["stages"]), len(m["spans"])
+        m["stages"].append({"name": 3})
+        m["spans"].append({"id": "x"})
+        with pytest.raises(ValueError) as exc:
+            validate_manifest(m)
+        msg = str(exc.value)
+        assert f"stages[{n_stages}].name" in msg
+        assert f"spans[{n_spans}].id" in msg
+
+    def test_histogram_shape_checked(self):
+        m = _instrumented_manifest()
+        m["metrics"]["histograms"]["fit.seconds"]["counts"] = [1]
+        with pytest.raises(ValueError, match="counts"):
+            validate_manifest(m)
+
+    def test_collects_all_problems(self):
+        with pytest.raises(ValueError) as exc:
+            validate_manifest({"schema_version": 99})
+        # One message naming every violation, not just the first.
+        assert str(exc.value).count("\n") >= 5
+
+
+class TestFileRoundTrips:
+    def test_manifest_write_load(self, tmp_path):
+        m = _instrumented_manifest()
+        path = tmp_path / "manifest.json"
+        write_manifest(path, m)
+        assert load_manifest(path) == m
+
+    def test_write_rejects_invalid(self, tmp_path):
+        m = _instrumented_manifest()
+        del m["command"]
+        with pytest.raises(ValueError):
+            write_manifest(tmp_path / "manifest.json", m)
+        assert not (tmp_path / "manifest.json").exists()
+
+    def test_spans_jsonl(self, tmp_path):
+        telemetry.configure()
+        with telemetry.span("a"):
+            pass
+        path = tmp_path / "spans.jsonl"
+        n = write_spans_jsonl(path, telemetry.get_span_log())
+        assert n == 1
+        lines = [json.loads(s) for s in path.read_text().splitlines()]
+        assert lines[0]["name"] == "a"
+
+
+class TestRendering:
+    def test_manifest_tables_sections(self):
+        text = manifest_tables(_instrumented_manifest())
+        assert "Run manifest" in text
+        assert "Stage timings" in text
+        assert "Counters and gauges" in text
+        assert "Histograms / timers" in text
+        assert "stage.alpha" in text
+        assert "version.numpy" in text
+
+    def test_empty_metrics_skip_sections(self):
+        telemetry.configure()
+        m = build_manifest(command=[], config={}, seeds={})
+        text = manifest_tables(m)
+        assert "Counters and gauges" not in text
+        assert "Stage timings" not in text
+
+    def test_events_table(self):
+        events = [
+            {"run": 0, "query": 0, "type": "arrival", "t": 0.0},
+            {"run": 0, "query": 0, "type": "stap_boost_trigger", "t": 0.5},
+            {"run": 0, "query": 0, "type": "departure", "t": 1.0},
+            {"run": 1, "query": 0, "type": "arrival", "t": 0.0},
+            {"run": 1, "query": 0, "type": "departure", "t": 2.0},
+        ]
+        text = events_table(events)
+        assert "5 events, 2 runs" in text
+        assert "boost frac" in text
+
+    def test_import_does_not_require_enabled_telemetry(self):
+        # exporters is importable and usable with telemetry disabled.
+        assert not telemetry.enabled()
+        m = exporters.build_manifest(command=[], config={}, seeds={})
+        validate_manifest(m)

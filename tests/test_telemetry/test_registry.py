@@ -1,0 +1,144 @@
+"""Tests for the metrics registry: counters, gauges, histograms, timers."""
+
+import math
+import pickle
+import threading
+
+import pytest
+
+from repro.telemetry.registry import (
+    DEFAULT_TIME_EDGES,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestHistogram:
+    def test_bucketing_against_edges(self):
+        h = Histogram(edges=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.0, 1.5, 3.0, 100.0):
+            h.observe(v)
+        # <=1: {0.5, 1.0}; <=2: {1.5}; <=4: {3.0}; overflow: {100.0}
+        assert h.counts == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.sum == pytest.approx(106.0)
+        assert h.min == 0.5 and h.max == 100.0
+        assert h.mean == pytest.approx(106.0 / 5)
+
+    def test_empty_mean_is_nan(self):
+        assert math.isnan(Histogram().mean)
+
+    def test_edge_validation(self):
+        with pytest.raises(ValueError):
+            Histogram(edges=())
+        with pytest.raises(ValueError):
+            Histogram(edges=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(edges=(2.0, 1.0))
+
+    def test_dict_round_trip(self):
+        h = Histogram(edges=(1.0, 10.0))
+        for v in (0.1, 5.0, 50.0):
+            h.observe(v)
+        clone = Histogram.from_dict(h.to_dict())
+        assert clone.to_dict() == h.to_dict()
+
+    def test_merge_requires_matching_edges(self):
+        h = Histogram(edges=(1.0, 2.0))
+        other = Histogram(edges=(1.0, 3.0))
+        with pytest.raises(ValueError, match="different edges"):
+            h.merge_dict(other.to_dict())
+
+    def test_merge_accumulates(self):
+        a, b = Histogram(edges=(1.0,)), Histogram(edges=(1.0,))
+        a.observe(0.5)
+        b.observe(2.0)
+        b.observe(0.25)
+        a.merge_dict(b.to_dict())
+        assert a.counts == [2, 1]
+        assert a.count == 3
+        assert a.min == 0.25 and a.max == 2.0
+
+    def test_merge_empty_keeps_minmax(self):
+        a = Histogram(edges=(1.0,))
+        a.observe(0.5)
+        a.merge_dict(Histogram(edges=(1.0,)).to_dict())
+        assert a.min == 0.5 and a.max == 0.5 and a.count == 1
+
+
+class TestMetricsRegistry:
+    def test_counters_accumulate(self):
+        reg = MetricsRegistry()
+        reg.counter_inc("x")
+        reg.counter_inc("x", 4.0)
+        assert reg.counter("x") == 5.0
+        assert reg.counter("missing") == 0.0
+
+    def test_gauges_keep_last(self):
+        reg = MetricsRegistry()
+        reg.gauge_set("g", 1.0)
+        reg.gauge_set("g", 2.5)
+        assert reg.gauge("g") == 2.5
+        assert reg.gauge("missing") is None
+
+    def test_histogram_defaults_to_time_edges(self):
+        reg = MetricsRegistry()
+        reg.histogram_observe("h", 0.02)
+        assert reg.histogram("h").edges == DEFAULT_TIME_EDGES
+
+    def test_histogram_custom_edges_fixed_at_creation(self):
+        reg = MetricsRegistry()
+        reg.histogram_observe("h", 1.5, edges=(1.0, 2.0))
+        reg.histogram_observe("h", 0.5)  # edges ignored after creation
+        assert reg.histogram("h").counts == [1, 1, 0]
+
+    def test_timer_records_a_duration(self):
+        reg = MetricsRegistry()
+        with reg.timer("t.seconds"):
+            pass
+        h = reg.histogram("t.seconds")
+        assert h.count == 1
+        assert h.sum >= 0.0
+
+    def test_snapshot_is_picklable_and_detached(self):
+        reg = MetricsRegistry()
+        reg.counter_inc("c", 2.0)
+        reg.gauge_set("g", 1.0)
+        reg.histogram_observe("h", 0.5, edges=(1.0,))
+        snap = pickle.loads(pickle.dumps(reg.snapshot()))
+        reg.counter_inc("c")
+        assert snap["counters"]["c"] == 2.0
+        assert snap["gauges"]["g"] == 1.0
+        assert snap["histograms"]["h"]["counts"] == [1, 0]
+
+    def test_merge_folds_worker_snapshot(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.counter_inc("c", 1.0)
+        worker.counter_inc("c", 2.0)
+        worker.counter_inc("only_worker", 3.0)
+        worker.gauge_set("g", 9.0)
+        parent.histogram_observe("h", 0.5, edges=(1.0,))
+        worker.histogram_observe("h", 2.0, edges=(1.0,))
+        worker.histogram_observe("h2", 1.0, edges=(4.0,))
+        parent.merge(worker.snapshot())
+        assert parent.counter("c") == 3.0
+        assert parent.counter("only_worker") == 3.0
+        assert parent.gauge("g") == 9.0
+        assert parent.histogram("h").counts == [1, 1]
+        assert parent.histogram("h2").counts == [1, 0]
+
+    def test_thread_safety_under_contention(self):
+        reg = MetricsRegistry()
+
+        def work():
+            for _ in range(1000):
+                reg.counter_inc("n")
+                reg.histogram_observe("h", 0.5, edges=(1.0,))
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter("n") == 4000.0
+        assert reg.histogram("h").count == 4000
